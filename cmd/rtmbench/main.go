@@ -1,0 +1,198 @@
+// Command rtmbench regenerates the paper's tables and figures on the
+// synthetic OffsetStone suite.
+//
+// Usage:
+//
+//	rtmbench -exp table1
+//	rtmbench -exp fig4               # quick scale by default
+//	rtmbench -exp fig4 -full         # the paper's full GA/RW budgets (slow)
+//	rtmbench -exp all -out results.txt
+//
+// Experiments: table1, fig4, fig5, fig6, latency, headline, longga,
+// ports (extension: shifts vs access-port count), convergence (seeded vs
+// cold GA trajectories), tensor (LCTES'19-style contractions), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, latency, headline, longga, ports, convergence, tensor, all")
+		full      = flag.Bool("full", false, "use the paper's full GA/RW budgets (slow: hours)")
+		out       = flag.String("out", "", "write results to this file as well as stdout")
+		maxSeq    = flag.Int("max-sequences", 0, "override sequences per benchmark (0 = config default)")
+		maxLen    = flag.Int("max-length", 0, "override max sequence length (0 = config default)")
+		gaGens    = flag.Int("ga-generations", 0, "override GA generations (0 = config default)")
+		longGen   = flag.Int("longga-generations", 2000, "generations for the long-GA probe")
+		bench     = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 31)")
+		csvDir    = flag.String("csv-dir", "", "also write each experiment's dataset as CSV into this directory")
+		maxPorts  = flag.Int("max-ports", 4, "port counts for the ports sweep")
+		workers   = flag.Int("workers", runtime.NumCPU(), "goroutines for GA fitness evaluation")
+		convBench = flag.String("convergence-benchmark", "", "benchmark for -exp convergence (default: whole-suite largest)")
+	)
+	flag.Parse()
+
+	cfg := eval.Quick()
+	if *full {
+		cfg = eval.Full()
+	}
+	if *maxSeq > 0 {
+		cfg.MaxSequences = *maxSeq
+	}
+	if *maxLen > 0 {
+		cfg.MaxSequenceLen = *maxLen
+	}
+	if *gaGens > 0 {
+		cfg.GA.Generations = *gaGens
+	}
+	if *bench != "" {
+		cfg.Benchmarks = strings.Split(*bench, ",")
+	}
+	if *workers > 1 {
+		cfg.GA.Workers = *workers
+		cfg.Parallel = *workers
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtmbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	scale := "quick"
+	if *full {
+		scale = "full (paper budgets)"
+	}
+	fmt.Fprintf(w, "rtmbench — scale: %s\n\n", scale)
+
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		r, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtmbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%s\n(%s in %v)\n\n", r, name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() (fmt.Stringer, error) {
+		return stringer(eval.Table1Render()), nil
+	})
+	run("fig4", func() (fmt.Stringer, error) {
+		r, err := eval.Fig4(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeCSV(*csvDir, "fig4.csv", r.WriteCSV); err != nil {
+			return nil, err
+		}
+		return stringer(r.Render()), nil
+	})
+	run("fig5", func() (fmt.Stringer, error) {
+		r, err := eval.Fig5(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeCSV(*csvDir, "fig5.csv", r.WriteCSV); err != nil {
+			return nil, err
+		}
+		return stringer(r.Render()), nil
+	})
+	run("fig6", func() (fmt.Stringer, error) {
+		r, err := eval.Fig6(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeCSV(*csvDir, "fig6.csv", r.WriteCSV); err != nil {
+			return nil, err
+		}
+		return stringer(r.Render()), nil
+	})
+	run("ports", func() (fmt.Stringer, error) {
+		r, err := eval.PortsSweep(cfg, *maxPorts)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeCSV(*csvDir, "ports.csv", r.WriteCSV); err != nil {
+			return nil, err
+		}
+		return stringer(r.Render()), nil
+	})
+	run("latency", func() (fmt.Stringer, error) {
+		r, err := eval.Latency(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return stringer(r.Render()), nil
+	})
+	run("headline", func() (fmt.Stringer, error) {
+		r, err := eval.Headline(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return stringer(r.Render()), nil
+	})
+	run("longga", func() (fmt.Stringer, error) {
+		r, err := eval.LongGA(cfg, *longGen)
+		if err != nil {
+			return nil, err
+		}
+		return stringer(r.Render()), nil
+	})
+	run("tensor", func() (fmt.Stringer, error) {
+		r, err := eval.Tensor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return stringer(r.Render()), nil
+	})
+	run("convergence", func() (fmt.Stringer, error) {
+		r, err := eval.Convergence(cfg, *convBench)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeCSV(*csvDir, "convergence.csv", func(w io.Writer) error { return r.WriteCSV(w) }); err != nil {
+			return nil, err
+		}
+		return stringer(r.Render()), nil
+	})
+}
+
+type stringer string
+
+func (s stringer) String() string { return string(s) }
+
+// writeCSV writes a dataset into dir/name when a CSV directory was
+// requested.
+func writeCSV(dir, name string, write func(io.Writer) error) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(dir + "/" + name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}

@@ -1,0 +1,133 @@
+// Command rtmplace computes a data placement for an access trace and
+// reports its shift cost, latency and energy on a Table I RTM device.
+//
+// Usage:
+//
+//	rtmplace -strategy DMA-SR -dbcs 4 trace.txt
+//	echo "a b a b c c" | rtmplace -strategy AFD-OFU -dbcs 2 -
+//
+// The trace format is whitespace-separated variable names, "!" suffix for
+// writes, optionally split into multiple sequences with "seq <name>"
+// lines (each sequence is placed independently).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		strategy = flag.String("strategy", "DMA-SR", "placement strategy: AFD-OFU, DMA-OFU, DMA-Chen, DMA-SR, GA, RW")
+		dbcs     = flag.Int("dbcs", 4, "number of DBCs (2, 4, 8 or 16 for Table I energy numbers)")
+		capacity = flag.Int("capacity", 0, "per-DBC capacity in words (0 = unlimited)")
+		format   = flag.String("format", "vars", "trace format: 'vars' (named variables) or 'addr' (raw R/W address records)")
+		wordSize = flag.Int("word-bytes", 4, "word granularity for -format addr")
+		gaGens   = flag.Int("ga-generations", 200, "GA generations (strategy GA)")
+		gaMu     = flag.Int("ga-mu", 100, "GA population size (strategy GA)")
+		rwIters  = flag.Int("rw-iterations", 60000, "random-walk iterations (strategy RW)")
+		seed     = flag.Int64("seed", 1, "PRNG seed for GA/RW")
+		verbose  = flag.Bool("v", false, "print the placement layout per sequence")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rtmplace [flags] <trace-file|->")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	if err := run(flag.Arg(0), *strategy, *format, *wordSize, *dbcs, *capacity, *gaGens, *gaMu, *rwIters, *seed, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "rtmplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, strategy, format string, wordSize, dbcs, capacity, gaGens, gaMu, rwIters int, seed int64, verbose bool) error {
+	var r io.Reader
+	name := path
+	if path == "-" {
+		r = os.Stdin
+		name = "stdin"
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var b *trace.Benchmark
+	switch format {
+	case "vars":
+		var err error
+		b, err = trace.Parse(name, r)
+		if err != nil {
+			return err
+		}
+	case "addr":
+		s, err := trace.ParseAddressTrace(r, wordSize)
+		if err != nil {
+			return err
+		}
+		b = &trace.Benchmark{Name: name, Sequences: []*trace.Sequence{s}}
+	default:
+		return fmt.Errorf("unknown -format %q (want 'vars' or 'addr')", format)
+	}
+	if len(b.Sequences) == 0 {
+		return fmt.Errorf("no access sequences in %s", name)
+	}
+
+	ga := placement.DefaultGAConfig()
+	ga.Generations = gaGens
+	ga.Mu, ga.Lambda = gaMu, gaMu
+	ga.Seed = seed
+	opts := placement.Options{
+		Capacity: capacity,
+		GA:       ga,
+		RW:       placement.RWConfig{Iterations: rwIters, Seed: seed},
+	}
+
+	id := placement.StrategyID(strategy)
+	var totalShifts int64
+	fmt.Printf("%s: %d sequence(s), strategy %s, %d DBCs\n", name, len(b.Sequences), id, dbcs)
+	placements := make([]*placement.Placement, len(b.Sequences))
+	for i, s := range b.Sequences {
+		p, c, err := placement.Place(id, s, dbcs, opts)
+		if err != nil {
+			return fmt.Errorf("sequence %d: %w", i, err)
+		}
+		placements[i] = p
+		totalShifts += c
+		fmt.Printf("  seq %d: %d accesses, %d variables -> %d shifts\n",
+			i, s.Len(), len(s.Distinct()), c)
+		if verbose {
+			fmt.Printf("    %s\n", p.Render(s))
+		}
+	}
+	fmt.Printf("total shifts: %d\n", totalShifts)
+
+	// Energy/latency when a Table I configuration was selected.
+	cfg, err := sim.TableIConfig(dbcs)
+	if err != nil {
+		fmt.Printf("(no Table I energy model for %d DBCs; shift count only)\n", dbcs)
+		return nil
+	}
+	var agg sim.Result
+	for i, s := range b.Sequences {
+		r, err := sim.RunSequence(cfg, s, placements[i])
+		if err != nil {
+			return err
+		}
+		agg.Add(r)
+	}
+	fmt.Printf("latency: %.1f ns   energy: %.1f pJ (leakage %.1f / read-write %.1f / shift %.1f)\n",
+		agg.LatencyNS, agg.Energy.TotalPJ(),
+		agg.Energy.LeakagePJ, agg.Energy.ReadWritePJ, agg.Energy.ShiftPJ)
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command tracegen emits synthetic OffsetStone-like access traces in the
+// text format consumed by rtmplace.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen gsm > gsm.trace
+//	tracegen -vars 40 -len 600 -sequences 3 -phases 3 custom > c.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/offsetstone"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available benchmark names")
+		all       = flag.String("all", "", "write every benchmark as <dir>/<name>.trace and exit")
+		vars      = flag.Int("vars", 0, "custom profile: max variables per sequence")
+		length    = flag.Int("len", 0, "custom profile: max sequence length")
+		sequences = flag.Int("sequences", 4, "custom profile: number of sequences")
+		phases    = flag.Int("phases", 3, "custom profile: program phases per sequence")
+		loopiness = flag.Float64("loopiness", 0.5, "custom profile: loop-kernel fraction")
+		writes    = flag.Float64("writes", 0.3, "custom profile: write fraction")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range offsetstone.Names() {
+			p, _ := offsetstone.ProfileFor(n)
+			fmt.Printf("%-10s %2d sequences, %4d..%4d vars, %4d..%4d accesses\n",
+				n, p.Sequences, p.MinVars, p.MaxVars, p.MinLen, p.MaxLen)
+		}
+		return
+	}
+	if *all != "" {
+		if err := writeAll(*all); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracegen [-list] [flags] <benchmark-name>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+
+	var b *trace.Benchmark
+	if *vars > 0 && *length > 0 {
+		b = offsetstone.GenerateProfile(offsetstone.Profile{
+			Name: name, Sequences: *sequences,
+			MinVars: 2, MaxVars: *vars,
+			MinLen: 2, MaxLen: *length,
+			Phases: *phases, Loopiness: *loopiness,
+			HotFraction: 0.15, WriteFraction: *writes,
+		})
+	} else {
+		var err error
+		b, err = offsetstone.Generate(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	}
+	if err := trace.Write(os.Stdout, b); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+// writeAll dumps the full synthetic suite into dir, one file per
+// benchmark.
+func writeAll(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range offsetstone.Names() {
+		b, err := offsetstone.Generate(name)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, name+".trace"))
+		if err != nil {
+			return err
+		}
+		if err := trace.Write(f, b); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+// Package cache models a set-associative cache whose data array is built
+// from racetrack memory, in the spirit of TapeCache (Venkatesan et al.,
+// ISLPED'12) and the array-organization study of Sun et al. — the
+// cache-level deployments the paper's introduction motivates. Tags are
+// SRAM (zero-shift); data lines live on RTM tracks, one set per DBC with
+// one way per domain position, so hitting a way requires shifting the
+// set's DBC until that way is under the access port.
+//
+// Two policies demonstrate why placement-style thinking matters even at
+// the cache level:
+//
+//   - insertion: on a fill, InsertLRU victimizes the least-recently-used
+//     way (classic), while InsertNearPort victimizes the way closest to
+//     the current port position among the least-recently-used half —
+//     trading a little hit ratio for much cheaper future alignment;
+//   - the shift engine is shared with the placement study, so cache
+//     shift counts are directly comparable with scratchpad numbers.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/rtm"
+)
+
+// Policy selects the victim/insertion strategy.
+type Policy int
+
+const (
+	// InsertLRU evicts the least recently used way.
+	InsertLRU Policy = iota
+	// InsertNearPort evicts, among the colder half of the ways, the one
+	// whose domain position is cheapest to align.
+	InsertNearPort
+)
+
+// Config describes the cache.
+type Config struct {
+	// Sets is the number of cache sets; each set occupies one DBC.
+	Sets int
+	// Ways is the associativity; each way occupies one domain position.
+	Ways int
+	// LineBytes is the cache-line size used for address decomposition.
+	LineBytes int
+	// Policy selects the insertion strategy.
+	Policy Policy
+	// Ports is the number of access ports per track.
+	Ports int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Sets <= 0:
+		return fmt.Errorf("cache: Sets must be positive, got %d", c.Sets)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache: Ways must be positive, got %d", c.Ways)
+	case c.LineBytes <= 0:
+		return fmt.Errorf("cache: LineBytes must be positive, got %d", c.LineBytes)
+	case c.Ports <= 0 || c.Ports > c.Ways:
+		return fmt.Errorf("cache: Ports must be in [1,%d], got %d", c.Ways, c.Ports)
+	}
+	return nil
+}
+
+// Stats aggregates cache behaviour.
+type Stats struct {
+	Hits, Misses int64
+	// Shifts counts RTM shift operations on the data array.
+	Shifts int64
+	// Fills counts line installations (== Misses; kept for clarity).
+	Fills int64
+	// Writebacks counts dirty evictions.
+	Writebacks int64
+}
+
+// HitRatio returns hits / (hits + misses).
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Accesses returns the total number of cache accesses.
+func (s Stats) Accesses() int64 { return s.Hits + s.Misses }
+
+type line struct {
+	tag   int64
+	valid bool
+	dirty bool
+	// lastUse is a logical timestamp for LRU.
+	lastUse int64
+}
+
+// Cache is the RTM-backed set-associative cache.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	engines []*rtm.ShiftEngine
+	clock   int64
+	stats   Stats
+}
+
+// New builds a cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg}
+	c.sets = make([][]line, cfg.Sets)
+	c.engines = make([]*rtm.ShiftEngine, cfg.Sets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+		e, err := rtm.NewShiftEngine(cfg.Ways, cfg.Ports)
+		if err != nil {
+			return nil, err
+		}
+		c.engines[i] = e
+	}
+	return c, nil
+}
+
+// decompose splits a byte address into (set, tag).
+func (c *Cache) decompose(addr int64) (int, int64) {
+	lineAddr := addr / int64(c.cfg.LineBytes)
+	set := int(lineAddr % int64(c.cfg.Sets))
+	return set, lineAddr / int64(c.cfg.Sets)
+}
+
+// Access performs one cache access and reports whether it hit and how
+// many data-array shifts it cost.
+func (c *Cache) Access(addr int64, write bool) (hit bool, shifts int, err error) {
+	if addr < 0 {
+		return false, 0, fmt.Errorf("cache: negative address %d", addr)
+	}
+	c.clock++
+	set, tag := c.decompose(addr)
+	lines := c.sets[set]
+	engine := c.engines[set]
+
+	for w := range lines {
+		if lines[w].valid && lines[w].tag == tag {
+			n, err := engine.Access(w)
+			if err != nil {
+				return false, 0, err
+			}
+			lines[w].lastUse = c.clock
+			if write {
+				lines[w].dirty = true
+			}
+			c.stats.Hits++
+			c.stats.Shifts += int64(n)
+			return true, n, nil
+		}
+	}
+
+	// Miss: choose a victim way, shift to it, install.
+	w := c.victim(set)
+	if lines[w].valid && lines[w].dirty {
+		c.stats.Writebacks++
+	}
+	n, err := engine.Access(w)
+	if err != nil {
+		return false, 0, err
+	}
+	lines[w] = line{tag: tag, valid: true, dirty: write, lastUse: c.clock}
+	c.stats.Misses++
+	c.stats.Fills++
+	c.stats.Shifts += int64(n)
+	return false, n, nil
+}
+
+// victim selects the way to replace in a set.
+func (c *Cache) victim(set int) int {
+	lines := c.sets[set]
+	// Invalid ways first (in port-distance order for the near-port
+	// policy, index order otherwise).
+	bestInvalid := -1
+	for w := range lines {
+		if !lines[w].valid {
+			if bestInvalid < 0 || c.cheaper(set, w, bestInvalid) {
+				bestInvalid = w
+				if c.cfg.Policy == InsertLRU {
+					return w
+				}
+			}
+		}
+	}
+	if bestInvalid >= 0 {
+		return bestInvalid
+	}
+
+	switch c.cfg.Policy {
+	case InsertNearPort:
+		// Consider the colder half (rounded up) of the ways by lastUse
+		// and take the cheapest to align.
+		half := (len(lines) + 1) / 2
+		cold := coldestWays(lines, half)
+		best := cold[0]
+		for _, w := range cold[1:] {
+			if c.cheaper(set, w, best) {
+				best = w
+			}
+		}
+		return best
+	default:
+		best := 0
+		for w := 1; w < len(lines); w++ {
+			if lines[w].lastUse < lines[best].lastUse {
+				best = w
+			}
+		}
+		return best
+	}
+}
+
+// cheaper reports whether aligning way a costs fewer shifts than way b
+// from the set's current port state.
+func (c *Cache) cheaper(set, a, b int) bool {
+	ca, errA := c.engines[set].CostOf(a)
+	cb, errB := c.engines[set].CostOf(b)
+	if errA != nil || errB != nil {
+		return false
+	}
+	return ca < cb
+}
+
+// coldestWays returns the indices of the n least-recently-used ways.
+func coldestWays(lines []line, n int) []int {
+	idx := make([]int, len(lines))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by lastUse (ways counts are small).
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && lines[idx[j]].lastUse < lines[idx[j-1]].lastUse; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx[:n]
+}
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Energy converts the cache's event counts into the Table I energy model
+// of the matching DBC count (sets = DBCs is the natural mapping; callers
+// pass whichever Table I row matches their array).
+func (c *Cache) Energy(p energy.Params) energy.Breakdown {
+	counts := energy.Counts{
+		Reads:  c.stats.Hits + c.stats.Misses, // every access touches the array once
+		Writes: c.stats.Fills,                 // installs write the line
+		Shifts: c.stats.Shifts,
+	}
+	return p.Energy(counts)
+}
+
+// Reset clears all lines, engines and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for w := range c.sets[i] {
+			c.sets[i][w] = line{}
+		}
+		c.engines[i].Reset()
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}

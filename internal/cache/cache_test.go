@@ -1,0 +1,260 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/energy"
+)
+
+func mustCache(t testing.TB, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func cfg4x4() Config {
+	return Config{Sets: 4, Ways: 4, LineBytes: 64, Policy: InsertLRU, Ports: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfg4x4().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Sets: 0, Ways: 1, LineBytes: 64, Ports: 1},
+		{Sets: 1, Ways: 0, LineBytes: 64, Ports: 1},
+		{Sets: 1, Ways: 1, LineBytes: 0, Ports: 1},
+		{Sets: 1, Ways: 2, LineBytes: 64, Ports: 3},
+		{Sets: 1, Ways: 2, LineBytes: 64, Ports: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted zero config")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustCache(t, cfg4x4())
+	hit, _, err := c.Access(0x1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("cold access hit")
+	}
+	hit, shifts, err := c.Access(0x1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second access missed")
+	}
+	if shifts != 0 {
+		t.Errorf("re-access shifted %d, want 0 (port already aligned)", shifts)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Fills != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSetDecomposition(t *testing.T) {
+	c := mustCache(t, cfg4x4())
+	// Addresses that differ only above set+line bits map to the same set
+	// with different tags and must conflict once ways are exhausted.
+	base := int64(0x40) // line 1 -> set 1
+	for i := 0; i < 4; i++ {
+		addr := base + int64(i)*64*4 // same set, different tags
+		if hit, _, _ := c.Access(addr, false); hit {
+			t.Fatalf("fill %d hit unexpectedly", i)
+		}
+	}
+	// All four ways of set 1 now hold distinct tags; they all hit.
+	for i := 0; i < 4; i++ {
+		addr := base + int64(i)*64*4
+		if hit, _, _ := c.Access(addr, false); !hit {
+			t.Fatalf("way %d should hit", i)
+		}
+	}
+	// A fifth tag evicts someone.
+	if hit, _, _ := c.Access(base+4*64*4, false); hit {
+		t.Fatal("fifth tag should miss")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustCache(t, Config{Sets: 1, Ways: 2, LineBytes: 64, Policy: InsertLRU, Ports: 1})
+	c.Access(0*64, false) // tag 0 -> way 0
+	c.Access(1*64, false) // tag 1 -> way 1
+	c.Access(0*64, false) // touch tag 0
+	c.Access(2*64, false) // evicts tag 1 (LRU)
+	if hit, _, _ := c.Access(0*64, false); !hit {
+		t.Error("tag 0 was evicted despite being MRU")
+	}
+	if hit, _, _ := c.Access(1*64, false); hit {
+		t.Error("tag 1 should have been evicted")
+	}
+}
+
+func TestWritebackAccounting(t *testing.T) {
+	c := mustCache(t, Config{Sets: 1, Ways: 1, LineBytes: 64, Policy: InsertLRU, Ports: 1})
+	c.Access(0, true)    // dirty fill
+	c.Access(64, false)  // evicts dirty line -> writeback
+	c.Access(128, false) // evicts clean line -> no writeback
+	if wb := c.Stats().Writebacks; wb != 1 {
+		t.Errorf("writebacks = %d, want 1", wb)
+	}
+}
+
+// Reference model: a plain LRU cache with no RTM, to cross-check hit/miss
+// decisions of the InsertLRU policy.
+type refCache struct {
+	sets      int
+	ways      int
+	lineBytes int
+	lines     map[int][]int64 // set -> tags, most recent first
+}
+
+func (r *refCache) access(addr int64) bool {
+	lineAddr := addr / int64(r.lineBytes)
+	set := int(lineAddr % int64(r.sets))
+	tag := lineAddr / int64(r.sets)
+	tags := r.lines[set]
+	for i, tg := range tags {
+		if tg == tag {
+			copy(tags[1:i+1], tags[:i])
+			tags[0] = tag
+			return true
+		}
+	}
+	tags = append([]int64{tag}, tags...)
+	if len(tags) > r.ways {
+		tags = tags[:r.ways]
+	}
+	r.lines[set] = tags
+	return false
+}
+
+func TestLRUMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := mustCache(t, Config{Sets: 8, Ways: 4, LineBytes: 32, Policy: InsertLRU, Ports: 1})
+	ref := &refCache{sets: 8, ways: 4, lineBytes: 32, lines: map[int][]int64{}}
+	for i := 0; i < 5000; i++ {
+		addr := int64(rng.Intn(4096))
+		got, _, err := c.Access(addr, rng.Intn(4) == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.access(addr)
+		if got != want {
+			t.Fatalf("access %d (addr %#x): cache hit=%v, reference hit=%v", i, addr, got, want)
+		}
+	}
+}
+
+func TestNearPortPolicyShiftsLess(t *testing.T) {
+	// A scan workload with reuse: near-port insertion should spend fewer
+	// shifts than plain LRU at a modest hit-ratio cost.
+	run := func(policy Policy) Stats {
+		c := mustCache(t, Config{Sets: 4, Ways: 8, LineBytes: 64, Policy: policy, Ports: 1})
+		rng := rand.New(rand.NewSource(3))
+		hot := make([]int64, 8)
+		for i := range hot {
+			hot[i] = int64(i * 64)
+		}
+		for i := 0; i < 8000; i++ {
+			if rng.Intn(3) == 0 {
+				// streaming access, little reuse
+				c.Access(int64(8+rng.Intn(512))*64, false)
+			} else {
+				c.Access(hot[rng.Intn(len(hot))], false)
+			}
+		}
+		return c.Stats()
+	}
+	lru := run(InsertLRU)
+	near := run(InsertNearPort)
+	if near.Shifts >= lru.Shifts {
+		t.Errorf("near-port policy did not reduce shifts: %d vs %d", near.Shifts, lru.Shifts)
+	}
+	// The hit ratio should stay in the same ballpark (within 10 points).
+	if near.HitRatio() < lru.HitRatio()-0.10 {
+		t.Errorf("near-port policy destroyed hit ratio: %.3f vs %.3f",
+			near.HitRatio(), lru.HitRatio())
+	}
+}
+
+func TestEnergyConversion(t *testing.T) {
+	c := mustCache(t, cfg4x4())
+	c.Access(0, false)
+	c.Access(64, true)
+	c.Access(0, false)
+	p, err := energy.ForDBCs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := c.Energy(p)
+	if b.TotalPJ() <= 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mustCache(t, cfg4x4())
+	c.Access(0, true)
+	c.Access(64, false)
+	c.Reset()
+	if c.Stats() != (Stats{}) {
+		t.Errorf("stats not cleared: %+v", c.Stats())
+	}
+	if hit, _, _ := c.Access(0, false); hit {
+		t.Error("line survived Reset")
+	}
+}
+
+func TestAccessErrors(t *testing.T) {
+	c := mustCache(t, cfg4x4())
+	if _, _, err := c.Access(-1, false); err == nil {
+		t.Error("negative address accepted")
+	}
+}
+
+// Property: hit ratio stays in [0,1], shifts are non-negative, and the
+// number of distinct resident tags never exceeds sets x ways.
+func TestCacheInvariants(t *testing.T) {
+	f := func(raw []uint16, policyRaw bool) bool {
+		policy := InsertLRU
+		if policyRaw {
+			policy = InsertNearPort
+		}
+		c, err := New(Config{Sets: 2, Ways: 4, LineBytes: 16, Policy: policy, Ports: 1})
+		if err != nil {
+			return false
+		}
+		for _, r := range raw {
+			if _, _, err := c.Access(int64(r), r%5 == 0); err != nil {
+				return false
+			}
+		}
+		st := c.Stats()
+		if st.HitRatio() < 0 || st.HitRatio() > 1 {
+			return false
+		}
+		if st.Shifts < 0 || st.Fills != st.Misses {
+			return false
+		}
+		return st.Accesses() == int64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

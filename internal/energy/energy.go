@@ -1,0 +1,130 @@
+// Package energy provides the latency, energy and area model of the RTM
+// configurations evaluated in the paper. The numbers come from Table I
+// ("Memory system parameters", 4 KiB RTM, 32 nm, 32 tracks/DBC), which the
+// authors obtained from the DESTINY circuit simulator; they are embedded
+// here verbatim since the paper itself consumes only these values.
+//
+// Accounting model (matching section IV-C of the paper):
+//
+//   - runtime  = reads*ReadLatency + writes*WriteLatency + shifts*ShiftLatency
+//   - dynamic  = reads*ReadEnergy  + writes*WriteEnergy  + shifts*ShiftEnergy
+//   - leakage  = LeakagePower * runtime
+//
+// so that shift reduction lowers both the shift energy directly and the
+// leakage energy through the shorter runtime — the effect the paper calls
+// out in Fig. 5.
+package energy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params holds the Table I row for one iso-capacity RTM configuration.
+type Params struct {
+	// DBCs is the number of domain block clusters (2, 4, 8 or 16).
+	DBCs int
+	// DomainsPerDBC is the number of domains per DBC track.
+	DomainsPerDBC int
+	// LeakagePowerMW is the array leakage power in milliwatts.
+	LeakagePowerMW float64
+	// WriteEnergyPJ / ReadEnergyPJ / ShiftEnergyPJ are per-operation
+	// dynamic energies in picojoules.
+	WriteEnergyPJ float64
+	ReadEnergyPJ  float64
+	ShiftEnergyPJ float64
+	// ReadLatencyNS / WriteLatencyNS / ShiftLatencyNS are per-operation
+	// latencies in nanoseconds.
+	ReadLatencyNS  float64
+	WriteLatencyNS float64
+	ShiftLatencyNS float64
+	// AreaMM2 is the array area in square millimetres.
+	AreaMM2 float64
+}
+
+// tableI reproduces Table I of the paper.
+var tableI = []Params{
+	{DBCs: 2, DomainsPerDBC: 512, LeakagePowerMW: 3.39, WriteEnergyPJ: 3.42, ReadEnergyPJ: 2.26, ShiftEnergyPJ: 2.18, ReadLatencyNS: 0.81, WriteLatencyNS: 1.08, ShiftLatencyNS: 0.99, AreaMM2: 0.0159},
+	{DBCs: 4, DomainsPerDBC: 256, LeakagePowerMW: 4.33, WriteEnergyPJ: 3.65, ReadEnergyPJ: 2.39, ShiftEnergyPJ: 2.03, ReadLatencyNS: 0.84, WriteLatencyNS: 1.14, ShiftLatencyNS: 0.92, AreaMM2: 0.0186},
+	{DBCs: 8, DomainsPerDBC: 128, LeakagePowerMW: 6.56, WriteEnergyPJ: 3.79, ReadEnergyPJ: 2.47, ShiftEnergyPJ: 1.97, ReadLatencyNS: 0.86, WriteLatencyNS: 1.17, ShiftLatencyNS: 0.86, AreaMM2: 0.0226},
+	{DBCs: 16, DomainsPerDBC: 64, LeakagePowerMW: 8.94, WriteEnergyPJ: 3.94, ReadEnergyPJ: 2.54, ShiftEnergyPJ: 1.86, ReadLatencyNS: 0.89, WriteLatencyNS: 1.20, ShiftLatencyNS: 0.78, AreaMM2: 0.0279},
+}
+
+// TableI returns a copy of all Table I rows, ordered by DBC count.
+func TableI() []Params {
+	out := append([]Params(nil), tableI...)
+	sort.Slice(out, func(i, j int) bool { return out[i].DBCs < out[j].DBCs })
+	return out
+}
+
+// ForDBCs returns the Table I row for the given DBC count.
+func ForDBCs(dbcs int) (Params, error) {
+	for _, p := range tableI {
+		if p.DBCs == dbcs {
+			return p, nil
+		}
+	}
+	return Params{}, fmt.Errorf("energy: no Table I row for %d DBCs (want 2, 4, 8 or 16)", dbcs)
+}
+
+// Counts are the event totals produced by replaying a trace.
+type Counts struct {
+	Reads  int64
+	Writes int64
+	Shifts int64
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.Reads += other.Reads
+	c.Writes += other.Writes
+	c.Shifts += other.Shifts
+}
+
+// Accesses returns reads + writes.
+func (c Counts) Accesses() int64 { return c.Reads + c.Writes }
+
+// LatencyNS returns the total runtime in nanoseconds under the serialized
+// access model used by the paper's trace-driven evaluation.
+func (p Params) LatencyNS(c Counts) float64 {
+	return float64(c.Reads)*p.ReadLatencyNS +
+		float64(c.Writes)*p.WriteLatencyNS +
+		float64(c.Shifts)*p.ShiftLatencyNS
+}
+
+// Breakdown splits total energy into the three components shown in Fig. 5.
+// All values are picojoules.
+type Breakdown struct {
+	LeakagePJ   float64
+	ReadWritePJ float64
+	ShiftPJ     float64
+}
+
+// TotalPJ returns the sum of all components.
+func (b Breakdown) TotalPJ() float64 { return b.LeakagePJ + b.ReadWritePJ + b.ShiftPJ }
+
+// Add accumulates other into b.
+func (b *Breakdown) Add(other Breakdown) {
+	b.LeakagePJ += other.LeakagePJ
+	b.ReadWritePJ += other.ReadWritePJ
+	b.ShiftPJ += other.ShiftPJ
+}
+
+// Energy returns the full energy breakdown for the given event counts.
+// Leakage integrates the leakage power over the runtime; conveniently,
+// mW x ns = pJ, so no unit conversion factor is needed.
+func (p Params) Energy(c Counts) Breakdown {
+	return Breakdown{
+		LeakagePJ:   p.LeakagePowerMW * p.LatencyNS(c),
+		ReadWritePJ: float64(c.Reads)*p.ReadEnergyPJ + float64(c.Writes)*p.WriteEnergyPJ,
+		ShiftPJ:     float64(c.Shifts) * p.ShiftEnergyPJ,
+	}
+}
+
+// String renders the row in the Table I layout.
+func (p Params) String() string {
+	return fmt.Sprintf("%2d DBCs: %3d domains/DBC, leak %.2f mW, E(w/r/s) %.2f/%.2f/%.2f pJ, t(r/w/s) %.2f/%.2f/%.2f ns, area %.4f mm2",
+		p.DBCs, p.DomainsPerDBC, p.LeakagePowerMW,
+		p.WriteEnergyPJ, p.ReadEnergyPJ, p.ShiftEnergyPJ,
+		p.ReadLatencyNS, p.WriteLatencyNS, p.ShiftLatencyNS, p.AreaMM2)
+}

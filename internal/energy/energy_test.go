@@ -1,0 +1,152 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIComplete(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 4 {
+		t.Fatalf("TableI has %d rows, want 4", len(rows))
+	}
+	wantDomains := map[int]int{2: 512, 4: 256, 8: 128, 16: 64}
+	for _, p := range rows {
+		if wantDomains[p.DBCs] != p.DomainsPerDBC {
+			t.Errorf("%d DBCs: domains %d, want %d", p.DBCs, p.DomainsPerDBC, wantDomains[p.DBCs])
+		}
+	}
+}
+
+func TestTableIVerbatimRows(t *testing.T) {
+	// Spot-check the exact published values for the 2- and 16-DBC rows.
+	p2, err := ForDBCs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.LeakagePowerMW != 3.39 || p2.WriteEnergyPJ != 3.42 ||
+		p2.ReadEnergyPJ != 2.26 || p2.ShiftEnergyPJ != 2.18 ||
+		p2.ReadLatencyNS != 0.81 || p2.WriteLatencyNS != 1.08 ||
+		p2.ShiftLatencyNS != 0.99 || p2.AreaMM2 != 0.0159 {
+		t.Errorf("2-DBC row mismatch: %+v", p2)
+	}
+	p16, err := ForDBCs(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p16.LeakagePowerMW != 8.94 || p16.WriteEnergyPJ != 3.94 ||
+		p16.ReadEnergyPJ != 2.54 || p16.ShiftEnergyPJ != 1.86 ||
+		p16.ReadLatencyNS != 0.89 || p16.WriteLatencyNS != 1.20 ||
+		p16.ShiftLatencyNS != 0.78 || p16.AreaMM2 != 0.0279 {
+		t.Errorf("16-DBC row mismatch: %+v", p16)
+	}
+}
+
+func TestTableITrends(t *testing.T) {
+	// The published trends: with more DBCs, leakage power, read/write
+	// energy, read/write latency and area all rise; shift energy and shift
+	// latency fall (shorter tracks).
+	rows := TableI()
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1], rows[i]
+		if !(b.LeakagePowerMW > a.LeakagePowerMW) {
+			t.Errorf("leakage should rise: %v -> %v", a.DBCs, b.DBCs)
+		}
+		if !(b.AreaMM2 > a.AreaMM2) {
+			t.Errorf("area should rise: %v -> %v", a.DBCs, b.DBCs)
+		}
+		if !(b.ShiftEnergyPJ < a.ShiftEnergyPJ) {
+			t.Errorf("shift energy should fall: %v -> %v", a.DBCs, b.DBCs)
+		}
+		if !(b.ShiftLatencyNS < a.ShiftLatencyNS) {
+			t.Errorf("shift latency should fall: %v -> %v", a.DBCs, b.DBCs)
+		}
+	}
+}
+
+func TestForDBCsUnknown(t *testing.T) {
+	if _, err := ForDBCs(7); err == nil {
+		t.Error("ForDBCs(7) should fail")
+	}
+}
+
+func TestLatencyAndEnergy(t *testing.T) {
+	p, _ := ForDBCs(4)
+	c := Counts{Reads: 10, Writes: 5, Shifts: 100}
+	wantLat := 10*0.84 + 5*1.14 + 100*0.92
+	if got := p.LatencyNS(c); math.Abs(got-wantLat) > 1e-9 {
+		t.Errorf("latency = %v, want %v", got, wantLat)
+	}
+	b := p.Energy(c)
+	wantRW := 10*2.39 + 5*3.65
+	wantShift := 100 * 2.03
+	wantLeak := 4.33 * wantLat
+	if math.Abs(b.ReadWritePJ-wantRW) > 1e-9 {
+		t.Errorf("rw energy = %v, want %v", b.ReadWritePJ, wantRW)
+	}
+	if math.Abs(b.ShiftPJ-wantShift) > 1e-9 {
+		t.Errorf("shift energy = %v, want %v", b.ShiftPJ, wantShift)
+	}
+	if math.Abs(b.LeakagePJ-wantLeak) > 1e-9 {
+		t.Errorf("leakage = %v, want %v", b.LeakagePJ, wantLeak)
+	}
+	if math.Abs(b.TotalPJ()-(wantRW+wantShift+wantLeak)) > 1e-9 {
+		t.Errorf("total = %v", b.TotalPJ())
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{Reads: 1, Writes: 2, Shifts: 3}
+	a.Add(Counts{Reads: 10, Writes: 20, Shifts: 30})
+	if a.Reads != 11 || a.Writes != 22 || a.Shifts != 33 {
+		t.Errorf("Add gave %+v", a)
+	}
+	if a.Accesses() != 33 {
+		t.Errorf("Accesses = %d, want 33", a.Accesses())
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := Breakdown{LeakagePJ: 1, ReadWritePJ: 2, ShiftPJ: 3}
+	a.Add(Breakdown{LeakagePJ: 1, ReadWritePJ: 1, ShiftPJ: 1})
+	if a.TotalPJ() != 9 {
+		t.Errorf("TotalPJ = %v, want 9", a.TotalPJ())
+	}
+}
+
+// Property: energy and latency are linear in the counts, monotone in
+// shifts, and non-negative.
+func TestEnergyLinearity(t *testing.T) {
+	p, _ := ForDBCs(8)
+	f := func(r, w, s uint16, k uint8) bool {
+		c := Counts{Reads: int64(r), Writes: int64(w), Shifts: int64(s)}
+		scale := int64(k%8) + 1
+		scaled := Counts{Reads: c.Reads * scale, Writes: c.Writes * scale, Shifts: c.Shifts * scale}
+		lat1 := p.LatencyNS(c)
+		latK := p.LatencyNS(scaled)
+		if math.Abs(latK-float64(scale)*lat1) > 1e-6*(1+latK) {
+			return false
+		}
+		e1 := p.Energy(c).TotalPJ()
+		eK := p.Energy(scaled).TotalPJ()
+		if math.Abs(eK-float64(scale)*e1) > 1e-6*(1+eK) {
+			return false
+		}
+		// Monotone in shifts.
+		more := c
+		more.Shifts++
+		return p.Energy(more).TotalPJ() >= e1 && lat1 >= 0 && e1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	p, _ := ForDBCs(2)
+	s := p.String()
+	if len(s) == 0 {
+		t.Error("empty String()")
+	}
+}

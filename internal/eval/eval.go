@@ -1,0 +1,205 @@
+// Package eval is the experiment harness: one driver per table and figure
+// of the paper's evaluation (section IV). Each driver regenerates the
+// corresponding rows/series — per-benchmark normalized shift costs
+// (Fig. 4), the energy breakdown (Fig. 5), the DBC-count trade-off
+// (Fig. 6), the latency improvements quoted in section IV-C, Table I, the
+// abstract's headline aggregates, and the long-GA optimality probe.
+//
+// Absolute values differ from the paper (the workloads are synthetic, see
+// DESIGN.md §3); the drivers exist to reproduce the paper's shape: which
+// strategy wins, by roughly what factor, and where the trends cross.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/offsetstone"
+	"repro/internal/placement"
+	"repro/internal/trace"
+)
+
+// Config scales the experiments. The zero value is unusable; start from
+// Quick() or Full().
+type Config struct {
+	// DBCCounts lists the RTM configurations (paper: 2, 4, 8, 16).
+	DBCCounts []int
+	// Benchmarks selects benchmark names; nil means the whole suite.
+	Benchmarks []string
+	// MaxSequences caps the number of sequences per benchmark (0 = all).
+	// Quick runs cap this to bound GA time.
+	MaxSequences int
+	// MaxSequenceLen skips sequences longer than this (0 = no limit).
+	MaxSequenceLen int
+	// GA are the genetic-algorithm parameters.
+	GA placement.GAConfig
+	// RW are the random-walk parameters.
+	RW placement.RWConfig
+	// Capacity, when positive, enforces per-DBC capacity during
+	// placement. The paper's evaluation leaves this off.
+	Capacity int
+	// Parallel runs up to this many benchmarks concurrently in the
+	// experiment drivers (0 or 1 = sequential). Results are collected in
+	// deterministic order regardless.
+	Parallel int
+}
+
+// Full returns the paper's published experiment scale: all benchmarks,
+// all sequences, GA with µ = λ = 100 for 200 generations, RW with 60 000
+// iterations. This is expensive (hours); use Quick for smoke runs.
+func Full() Config {
+	return Config{
+		DBCCounts: []int{2, 4, 8, 16},
+		GA:        placement.DefaultGAConfig(),
+		RW:        placement.DefaultRWConfig(),
+	}
+}
+
+// Quick returns a scaled-down configuration with the same structure: the
+// two longest sequences per benchmark (benchmark totals in the paper are
+// dominated by the large functions; keeping only small ones would distort
+// the trends) and a small GA/RW budget. Trends remain visible; absolute
+// ratios are noisier than Full.
+func Quick() Config {
+	return Config{
+		DBCCounts:      []int{2, 4, 8, 16},
+		MaxSequences:   2,
+		MaxSequenceLen: 2500,
+		GA: placement.GAConfig{Mu: 24, Lambda: 24, Generations: 30,
+			TournamentK: 4, MutationRate: 0.5,
+			MoveWeight: 10, TransposeWeight: 10, PermuteWeight: 3, Seed: 1},
+		RW: placement.RWConfig{Iterations: 720, Seed: 1},
+	}
+}
+
+// suite materializes the configured benchmarks with the sequence caps
+// applied.
+func (c Config) suite() ([]*trace.Benchmark, error) {
+	names := c.Benchmarks
+	if names == nil {
+		names = offsetstone.Names()
+	}
+	out := make([]*trace.Benchmark, 0, len(names))
+	for _, n := range names {
+		b, err := offsetstone.Generate(n)
+		if err != nil {
+			return nil, err
+		}
+		if c.MaxSequenceLen > 0 {
+			kept := b.Sequences[:0]
+			for _, s := range b.Sequences {
+				if s.Len() <= c.MaxSequenceLen {
+					kept = append(kept, s)
+				}
+			}
+			b.Sequences = kept
+		}
+		if c.MaxSequences > 0 && len(b.Sequences) > c.MaxSequences {
+			// Keep the longest sequences: benchmark-level costs are
+			// dominated by the big functions, and trimming to the small
+			// ones would misrepresent the suite.
+			sort.SliceStable(b.Sequences, func(i, j int) bool {
+				return b.Sequences[i].Len() > b.Sequences[j].Len()
+			})
+			b.Sequences = b.Sequences[:c.MaxSequences]
+		}
+		if len(b.Sequences) == 0 {
+			continue // nothing small enough survived the caps
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("eval: no benchmarks left after filtering")
+	}
+	return out, nil
+}
+
+// options builds placement options from the config.
+func (c Config) options() placement.Options {
+	return placement.Options{Capacity: c.Capacity, GA: c.GA, RW: c.RW}
+}
+
+// forEach runs fn for every index in [0, n), using up to c.Parallel
+// goroutines, and returns the first error. fn implementations write only
+// to their own index of pre-sized result slices, keeping output
+// deterministic.
+func (c Config) forEach(n int, fn func(i int) error) error {
+	workers := c.Parallel
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Geomean returns the geometric mean of strictly positive values; zero or
+// negative entries are clamped to tiny to stay defined (they indicate a
+// degenerate benchmark, not a meaningful ratio).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-12
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// ratio returns a/b guarding against a zero denominator (degenerate
+// benchmarks whose optimal cost is zero).
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		b = 1
+	}
+	return a / b
+}

@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/placement"
+)
+
+// CSV writers for the experiment datasets, so the figures can be re-drawn
+// with external plotting tools. Each writer emits one row per data point
+// with a stable header.
+
+// WriteCSV renders the Fig. 4 dataset: benchmark, dbcs, strategy, shifts,
+// normalized-to-GA.
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "dbcs", "strategy", "shifts", "normalized_to_ga"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		for _, id := range placement.AllStrategies() {
+			rec := []string{
+				row.Benchmark,
+				strconv.Itoa(row.DBCs),
+				string(id),
+				strconv.FormatInt(row.Shifts[id], 10),
+				formatFloat(row.Normalized[id]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV renders the Fig. 5 dataset: dbcs, strategy, leakage, rd/wr,
+// shift (all normalized to the AFD-OFU total) and absolute totals.
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dbcs", "strategy", "leakage_norm", "readwrite_norm", "shift_norm", "total_pj", "latency_ns", "shifts"}); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		rec := []string{
+			strconv.Itoa(c.DBCs),
+			string(c.Strategy),
+			formatFloat(c.Leakage),
+			formatFloat(c.ReadWrite),
+			formatFloat(c.Shift),
+			formatFloat(c.TotalPJ),
+			formatFloat(c.LatencyNS),
+			strconv.FormatInt(c.Shifts, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV renders the Fig. 6 dataset.
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dbcs", "shift_improvement", "latency_improvement", "energy_improvement", "area_improvement", "shifts_dmasr", "shifts_afd", "latency_ns", "energy_pj", "area_mm2"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			strconv.Itoa(row.DBCs),
+			formatFloat(row.ShiftImprovement),
+			formatFloat(row.LatencyImprovement),
+			formatFloat(row.EnergyImprovement),
+			formatFloat(row.AreaImprovement),
+			strconv.FormatInt(row.ShiftsDMASR, 10),
+			strconv.FormatInt(row.ShiftsAFD, 10),
+			formatFloat(row.LatencyNS),
+			formatFloat(row.TotalEnergyPJ),
+			formatFloat(row.AreaMM2),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV renders the ports sweep.
+func (r *PortsResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ports", "afd_ofu_shifts", "dma_sr_shifts", "improvement"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			strconv.Itoa(row.Ports),
+			strconv.FormatInt(row.AFDOFU, 10),
+			strconv.FormatInt(row.DMASR, 10),
+			formatFloat(row.Improved),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string {
+	return fmt.Sprintf("%.6g", f)
+}

@@ -1,0 +1,173 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/placement"
+	"repro/internal/trace"
+)
+
+// Fig4Row is one benchmark's shift totals for every strategy at one DBC
+// count, normalized to the GA result (GA == 1), exactly as plotted in the
+// paper's Fig. 4.
+type Fig4Row struct {
+	Benchmark string
+	DBCs      int
+	// Shifts maps strategy -> total shifts across the benchmark's
+	// sequences.
+	Shifts map[placement.StrategyID]int64
+	// Normalized maps strategy -> shifts / GA shifts.
+	Normalized map[placement.StrategyID]float64
+}
+
+// Fig4Result is the full Fig. 4 dataset plus the geometric means the
+// paper quotes in section IV-B.
+type Fig4Result struct {
+	Rows []Fig4Row
+	// Geomean maps DBC count -> strategy -> geometric mean of the
+	// normalized cost over all benchmarks.
+	Geomean map[int]map[placement.StrategyID]float64
+	// AFDOverDMA maps DBC count -> geomean of AFD-OFU/DMA-OFU shift
+	// ratios (the paper reports 2.4x, 2.9x, 2.8x, 1.7x for 2/4/8/16).
+	AFDOverDMA map[int]float64
+	// DMAOverChen and DMAOverSR report the additional factor the intra
+	// heuristics contribute on top of DMA-OFU (paper: 1.8x/1.6x/1.3x/1.4x
+	// and 2.0x/1.8x/1.5x/1.6x).
+	DMAOverChen map[int]float64
+	DMAOverSR   map[int]float64
+}
+
+// Fig4 regenerates the Fig. 4 experiment: all six strategies on every
+// benchmark for every configured DBC count.
+func Fig4(cfg Config) (*Fig4Result, error) {
+	suite, err := cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	opts := cfg.options()
+
+	res := &Fig4Result{
+		Geomean:     map[int]map[placement.StrategyID]float64{},
+		AFDOverDMA:  map[int]float64{},
+		DMAOverChen: map[int]float64{},
+		DMAOverSR:   map[int]float64{},
+	}
+	for _, q := range cfg.DBCCounts {
+		type acc struct{ norm []float64 }
+		perStrategy := map[placement.StrategyID]*acc{}
+		for _, id := range placement.AllStrategies() {
+			perStrategy[id] = &acc{}
+		}
+		var afdOverDMA, dmaOverChen, dmaOverSR []float64
+
+		// Benchmarks are independent; compute their rows in parallel and
+		// aggregate in suite order.
+		rows := make([]Fig4Row, len(suite))
+		q := q
+		err := cfg.forEach(len(suite), func(i int) error {
+			b := suite[i]
+			row := Fig4Row{
+				Benchmark:  b.Name,
+				DBCs:       q,
+				Shifts:     map[placement.StrategyID]int64{},
+				Normalized: map[placement.StrategyID]float64{},
+			}
+			for _, id := range placement.AllStrategies() {
+				total, err := benchmarkShifts(id, b, q, opts)
+				if err != nil {
+					return fmt.Errorf("eval: fig4 %s/%s q=%d: %w", b.Name, id, q, err)
+				}
+				row.Shifts[id] = total
+			}
+			ga := row.Shifts[placement.StrategyGA]
+			for _, id := range placement.AllStrategies() {
+				row.Normalized[id] = ratio(float64(row.Shifts[id]), float64(ga))
+			}
+			rows[i] = row
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			for _, id := range placement.AllStrategies() {
+				perStrategy[id].norm = append(perStrategy[id].norm, row.Normalized[id])
+			}
+			afdOverDMA = append(afdOverDMA,
+				ratio(float64(row.Shifts[placement.StrategyAFDOFU]), float64(row.Shifts[placement.StrategyDMAOFU])))
+			dmaOverChen = append(dmaOverChen,
+				ratio(float64(row.Shifts[placement.StrategyDMAOFU]), float64(row.Shifts[placement.StrategyDMAChen])))
+			dmaOverSR = append(dmaOverSR,
+				ratio(float64(row.Shifts[placement.StrategyDMAOFU]), float64(row.Shifts[placement.StrategyDMASR])))
+			res.Rows = append(res.Rows, row)
+		}
+
+		res.Geomean[q] = map[placement.StrategyID]float64{}
+		for id, a := range perStrategy {
+			res.Geomean[q][id] = Geomean(a.norm)
+		}
+		res.AFDOverDMA[q] = Geomean(afdOverDMA)
+		res.DMAOverChen[q] = Geomean(dmaOverChen)
+		res.DMAOverSR[q] = Geomean(dmaOverSR)
+	}
+	return res, nil
+}
+
+// benchmarkShifts totals the shift cost of one strategy over a benchmark's
+// sequences (each sequence is an independent placement problem).
+func benchmarkShifts(id placement.StrategyID, b *trace.Benchmark, q int, opts placement.Options) (int64, error) {
+	var total int64
+	for _, s := range b.Sequences {
+		_, c, err := placement.Place(id, s, q, opts)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// Render prints the Fig. 4 dataset as an aligned text table, one block per
+// DBC count, mirroring the paper's per-benchmark bars plus the geomean
+// row.
+func (r *Fig4Result) Render() string {
+	var sb strings.Builder
+	order := placement.AllStrategies()
+	dbcs := sortedKeys(r.Geomean)
+	for _, q := range dbcs {
+		fmt.Fprintf(&sb, "Fig. 4 — shift cost normalized to GA, %d DBCs\n", q)
+		fmt.Fprintf(&sb, "%-10s", "benchmark")
+		for _, id := range order {
+			fmt.Fprintf(&sb, " %10s", id)
+		}
+		sb.WriteByte('\n')
+		for _, row := range r.Rows {
+			if row.DBCs != q {
+				continue
+			}
+			fmt.Fprintf(&sb, "%-10s", row.Benchmark)
+			for _, id := range order {
+				fmt.Fprintf(&sb, " %10.2f", row.Normalized[id])
+			}
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "%-10s", "geomean")
+		for _, id := range order {
+			fmt.Fprintf(&sb, " %10.2f", r.Geomean[q][id])
+		}
+		fmt.Fprintf(&sb, "\n  AFD-OFU/DMA-OFU = %.2fx   DMA-OFU/DMA-Chen = %.2fx   DMA-OFU/DMA-SR = %.2fx\n\n",
+			r.AFDOverDMA[q], r.DMAOverChen[q], r.DMAOverSR[q])
+	}
+	return sb.String()
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,143 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/energy"
+	"repro/internal/placement"
+	"repro/internal/sim"
+)
+
+// Fig6Row captures the DBC-count trade-off for the best-performing
+// configuration (DMA-SR), as in the paper's Fig. 6:
+//
+//   - ShiftImprovement and LatencyImprovement are the factors by which
+//     DMA-SR beats AFD-OFU at the same DBC count (these shrink as DBCs
+//     grow — the paper's "diminishing improvement");
+//   - EnergyImprovement is the total DMA-SR energy at 2 DBCs divided by
+//     the total at this DBC count (peaks at 4-8 DBCs: 2 DBCs drown in
+//     shift energy, 16 DBCs in leakage);
+//   - AreaImprovement is area(2 DBCs)/area(n DBCs), monotonically falling
+//     below 1 (ports cost area — the paper's "clear rising trend" in
+//     area).
+type Fig6Row struct {
+	DBCs               int
+	ShiftImprovement   float64
+	LatencyImprovement float64
+	EnergyImprovement  float64
+	AreaImprovement    float64
+	// Raw values for EXPERIMENTS.md.
+	ShiftsDMASR   int64
+	ShiftsAFD     int64
+	LatencyNS     float64
+	TotalEnergyPJ float64
+	AreaMM2       float64
+}
+
+// Fig6Result is the Fig. 6 dataset.
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// Fig6 regenerates the DBC-count trade-off study for DMA-SR.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	suite, err := cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	opts := cfg.options()
+
+	type perQ struct {
+		dmasr sim.Result
+		afd   sim.Result
+		area  float64
+	}
+	data := map[int]*perQ{}
+	for _, q := range cfg.DBCCounts {
+		simCfg, err := sim.TableIConfig(q)
+		if err != nil {
+			return nil, err
+		}
+		p := &perQ{area: simCfg.Params.AreaMM2}
+		for _, b := range suite {
+			r, err := sim.RunBenchmark(simCfg, b, sim.StrategyPlacer(placement.StrategyDMASR, opts))
+			if err != nil {
+				return nil, fmt.Errorf("eval: fig6 %s q=%d: %w", b.Name, q, err)
+			}
+			p.dmasr.Add(r)
+			r, err = sim.RunBenchmark(simCfg, b, sim.StrategyPlacer(placement.StrategyAFDOFU, opts))
+			if err != nil {
+				return nil, fmt.Errorf("eval: fig6 %s q=%d: %w", b.Name, q, err)
+			}
+			p.afd.Add(r)
+		}
+		data[q] = p
+	}
+
+	baseQ := cfg.DBCCounts[0]
+	base := data[baseQ]
+	res := &Fig6Result{}
+	for _, q := range cfg.DBCCounts {
+		d := data[q]
+		res.Rows = append(res.Rows, Fig6Row{
+			DBCs:               q,
+			ShiftImprovement:   ratio(float64(d.afd.Counts.Shifts), float64(d.dmasr.Counts.Shifts)),
+			LatencyImprovement: ratio(d.afd.LatencyNS, d.dmasr.LatencyNS),
+			EnergyImprovement:  ratio(base.dmasr.Energy.TotalPJ(), d.dmasr.Energy.TotalPJ()),
+			AreaImprovement:    ratio(base.area, d.area),
+			ShiftsDMASR:        d.dmasr.Counts.Shifts,
+			ShiftsAFD:          d.afd.Counts.Shifts,
+			LatencyNS:          d.dmasr.LatencyNS,
+			TotalEnergyPJ:      d.dmasr.Energy.TotalPJ(),
+			AreaMM2:            d.area,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the Fig. 6 bars as text.
+func (r *Fig6Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 6 — DMA-SR trade-offs vs DBC count (improvements, normalized)\n")
+	fmt.Fprintf(&sb, "%6s %10s %10s %10s %10s\n", "DBCs", "shifts", "latency", "energy", "area")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%6d %10.2f %10.2f %10.2f %10.2f\n",
+			row.DBCs, row.ShiftImprovement, row.LatencyImprovement,
+			row.EnergyImprovement, row.AreaImprovement)
+	}
+	return sb.String()
+}
+
+// Table1Render prints Table I in the paper's layout.
+func Table1Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table I — memory system parameters (4 KiB RTM, 32 nm, 32 tracks/DBC)\n")
+	rows := energy.TableI()
+	fmt.Fprintf(&sb, "%-28s", "Number of DBCs")
+	for _, p := range rows {
+		fmt.Fprintf(&sb, "%10d", p.DBCs)
+	}
+	sb.WriteByte('\n')
+	line := func(label string, f func(energy.Params) float64, format string) {
+		fmt.Fprintf(&sb, "%-28s", label)
+		for _, p := range rows {
+			fmt.Fprintf(&sb, format, f(p))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%-28s", "Domains in a DBC")
+	for _, p := range rows {
+		fmt.Fprintf(&sb, "%10d", p.DomainsPerDBC)
+	}
+	sb.WriteByte('\n')
+	line("Leakage power [mW]", func(p energy.Params) float64 { return p.LeakagePowerMW }, "%10.2f")
+	line("Write energy [pJ]", func(p energy.Params) float64 { return p.WriteEnergyPJ }, "%10.2f")
+	line("Read energy [pJ]", func(p energy.Params) float64 { return p.ReadEnergyPJ }, "%10.2f")
+	line("Shift energy [pJ]", func(p energy.Params) float64 { return p.ShiftEnergyPJ }, "%10.2f")
+	line("Read latency [ns]", func(p energy.Params) float64 { return p.ReadLatencyNS }, "%10.2f")
+	line("Write latency [ns]", func(p energy.Params) float64 { return p.WriteLatencyNS }, "%10.2f")
+	line("Shift latency [ns]", func(p energy.Params) float64 { return p.ShiftLatencyNS }, "%10.2f")
+	line("Area [mm2]", func(p energy.Params) float64 { return p.AreaMM2 }, "%10.4f")
+	return sb.String()
+}

@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/placement"
+)
+
+// PortsRow reports the shift totals for one access-port count, summed
+// over the suite, for AFD-OFU and DMA-SR. The paper's evaluation uses one
+// port per track and argues (section II-B/III) that its heuristic — unlike
+// Chen's multi-DBC scheme, which requires two or more ports — works for
+// any port count; this extension experiment quantifies that claim with
+// the generalized shift engine.
+type PortsRow struct {
+	Ports    int
+	AFDOFU   int64
+	DMASR    int64
+	Improved float64 // AFDOFU / DMASR
+}
+
+// PortsResult is the ports-sweep dataset.
+type PortsResult struct {
+	Rows []PortsRow
+	DBCs int
+}
+
+// PortsSweep evaluates shift counts for 1..maxPorts access ports per
+// track at the first configured DBC count.
+func PortsSweep(cfg Config, maxPorts int) (*PortsResult, error) {
+	if maxPorts < 1 {
+		return nil, fmt.Errorf("eval: maxPorts must be >= 1, got %d", maxPorts)
+	}
+	suite, err := cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	opts := cfg.options()
+	q := cfg.DBCCounts[0]
+
+	res := &PortsResult{DBCs: q}
+	for ports := 1; ports <= maxPorts; ports++ {
+		var afd, dma int64
+		for _, b := range suite {
+			for _, s := range b.Sequences {
+				pa, _, err := placement.Place(placement.StrategyAFDOFU, s, q, opts)
+				if err != nil {
+					return nil, err
+				}
+				pd, _, err := placement.Place(placement.StrategyDMASR, s, q, opts)
+				if err != nil {
+					return nil, err
+				}
+				domains := maxInt(pa.MaxDBCLen(), maxInt(pd.MaxDBCLen(), ports))
+				ca, err := placement.EngineCost(s, pa, domains, ports)
+				if err != nil {
+					return nil, err
+				}
+				cd, err := placement.EngineCost(s, pd, domains, ports)
+				if err != nil {
+					return nil, err
+				}
+				afd += ca
+				dma += cd
+			}
+		}
+		res.Rows = append(res.Rows, PortsRow{
+			Ports:    ports,
+			AFDOFU:   afd,
+			DMASR:    dma,
+			Improved: ratio(float64(afd), float64(dma)),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (r *PortsResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ports sweep — total shifts vs access ports per track (%d DBCs)\n", r.DBCs)
+	fmt.Fprintf(&sb, "%6s %12s %12s %12s\n", "ports", "AFD-OFU", "DMA-SR", "improvement")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%6d %12d %12d %11.2fx\n", row.Ports, row.AFDOFU, row.DMASR, row.Improved)
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPortsSweep(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := PortsSweep(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	// Shift totals must be non-increasing in the port count for both
+	// strategies (more ports never hurt, property-tested in rtm).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].AFDOFU > res.Rows[i-1].AFDOFU {
+			t.Errorf("AFD shifts rose with ports: %v -> %v", res.Rows[i-1], res.Rows[i])
+		}
+		if res.Rows[i].DMASR > res.Rows[i-1].DMASR {
+			t.Errorf("DMA shifts rose with ports: %v -> %v", res.Rows[i-1], res.Rows[i])
+		}
+	}
+	// DMA-SR wins at one port (the paper's setting).
+	if res.Rows[0].Improved <= 1 {
+		t.Errorf("1-port improvement %.2f, want > 1", res.Rows[0].Improved)
+	}
+	if !strings.Contains(res.Render(), "Ports sweep") {
+		t.Error("render missing header")
+	}
+	if _, err := PortsSweep(cfg, 0); err == nil {
+		t.Error("maxPorts=0 accepted")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	cfg := tinyConfig()
+
+	f4, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := f4.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// Header + 6 strategies x rows.
+	if want := 1 + 6*len(f4.Rows); len(lines) != want {
+		t.Errorf("fig4 csv has %d lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,dbcs,strategy") {
+		t.Errorf("fig4 csv header = %q", lines[0])
+	}
+
+	f5, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := f5.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "\n"); n != len(f5.Cells)+1 {
+		t.Errorf("fig5 csv rows = %d, want %d", n, len(f5.Cells)+1)
+	}
+
+	f6, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := f6.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dbcs,shift_improvement") {
+		t.Error("fig6 csv missing header")
+	}
+
+	ports, err := PortsSweep(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := ports.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 3 {
+		t.Errorf("ports csv rows = %d, want 3", n)
+	}
+}

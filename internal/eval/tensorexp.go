@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/placement"
+	"repro/internal/tensor"
+)
+
+// TensorRow is one contraction's shift costs under the baseline and the
+// paper's best configuration.
+type TensorRow struct {
+	Shape    string
+	Accesses int
+	AFDOFU   int64
+	DMASR    int64
+	Improved float64
+}
+
+// TensorResult reproduces the flavour of the authors' LCTES'19 companion
+// result: placement gains on tensor-contraction scratchpad traces.
+type TensorResult struct {
+	Rows []TensorRow
+	DBCs int
+}
+
+// Tensor runs the bundled contraction suite at the first configured DBC
+// count.
+func Tensor(cfg Config) (*TensorResult, error) {
+	q := cfg.DBCCounts[0]
+	opts := cfg.options()
+	res := &TensorResult{DBCs: q}
+	for _, c := range tensor.Suite() {
+		seq, err := c.Trace()
+		if err != nil {
+			return nil, err
+		}
+		_, afd, err := placement.Place(placement.StrategyAFDOFU, seq, q, opts)
+		if err != nil {
+			return nil, err
+		}
+		_, sr, err := placement.Place(placement.StrategyDMASR, seq, q, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TensorRow{
+			Shape:    fmt.Sprintf("%dx%dx%d/%s", c.I, c.J, c.K, c.Order),
+			Accesses: seq.Len(),
+			AFDOFU:   afd,
+			DMASR:    sr,
+			Improved: ratio(float64(afd), float64(sr)),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the contraction table.
+func (r *TensorResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Tensor contractions on an RTM scratchpad (%d DBCs; LCTES'19 flavour)\n", r.DBCs)
+	fmt.Fprintf(&sb, "%-14s %9s %10s %10s %12s\n", "shape/order", "accesses", "AFD-OFU", "DMA-SR", "improvement")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-14s %9d %10d %10d %11.2fx\n",
+			row.Shape, row.Accesses, row.AFDOFU, row.DMASR, row.Improved)
+	}
+	return sb.String()
+}

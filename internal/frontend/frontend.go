@@ -1,0 +1,268 @@
+// Package frontend is a miniature compiler front end that turns
+// straight-line programs over scalar locals into the memory access
+// sequences the placement algorithms consume. It exists to make the
+// provenance of offset-assignment traces concrete: the paper's workloads
+// (OffsetStone) are exactly such sequences extracted from compiled C
+// functions, one sequence per function.
+//
+// The language is deliberately tiny — assignments over named scalars,
+// bounded loops, function blocks:
+//
+//	func fir
+//	  var acc x c0 c1
+//	  acc = 0
+//	  loop 16
+//	    acc = acc + x * c0
+//	    acc = acc + x * c1
+//	  end
+//	end
+//
+// Trace semantics mirror a scratchpad-allocated compilation: every
+// identifier on a right-hand side issues a read access in operand order,
+// every assignment target issues a write access after its operands, and
+// compound assignments (+=) read the target first. Integer literals touch
+// no memory. Loops replay their body.
+package frontend
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Program is a parsed source file: an ordered list of functions.
+type Program struct {
+	Funcs []Func
+}
+
+// Func is one function block; it compiles to one access sequence.
+type Func struct {
+	Name string
+	Body []Stmt
+}
+
+// Stmt is a statement: either an assignment or a loop.
+type Stmt interface{ stmt() }
+
+// Assign is `target op= expr`, with Reads listing the identifiers read in
+// operand order (including the target first for compound assignments).
+type Assign struct {
+	Target string
+	// Reads are the identifiers read, in evaluation order.
+	Reads []string
+}
+
+func (Assign) stmt() {}
+
+// Loop repeats its body Count times.
+type Loop struct {
+	Count int
+	Body  []Stmt
+}
+
+func (Loop) stmt() {}
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("frontend: line %d: %s", e.Line, e.Msg) }
+
+// Parse reads a source file.
+func Parse(src string) (*Program, error) {
+	p := &parser{}
+	lines := strings.Split(src, "\n")
+	prog := &Program{}
+	i := 0
+	for i < len(lines) {
+		line := strip(lines[i])
+		if line == "" {
+			i++
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "func" {
+			return nil, &ParseError{Line: i + 1, Msg: "expected 'func <name>' at top level"}
+		}
+		if len(fields) != 2 {
+			return nil, &ParseError{Line: i + 1, Msg: "func needs exactly one name"}
+		}
+		body, next, err := p.parseBlock(lines, i+1)
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, Func{Name: fields[1], Body: body})
+		i = next
+	}
+	if len(prog.Funcs) == 0 {
+		return nil, &ParseError{Line: 1, Msg: "no functions"}
+	}
+	return prog, nil
+}
+
+type parser struct{}
+
+// parseBlock parses statements until the matching 'end', returning the
+// line index just after it.
+func (p *parser) parseBlock(lines []string, start int) ([]Stmt, int, error) {
+	var body []Stmt
+	i := start
+	for i < len(lines) {
+		line := strip(lines[i])
+		if line == "" {
+			i++
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "end":
+			return body, i + 1, nil
+		case "func":
+			return nil, 0, &ParseError{Line: i + 1, Msg: "nested func (missing 'end'?)"}
+		case "var":
+			// Declarations are accepted for readability but do not touch
+			// memory; undeclared identifiers are fine.
+			if len(fields) < 2 {
+				return nil, 0, &ParseError{Line: i + 1, Msg: "var needs at least one name"}
+			}
+			i++
+		case "loop":
+			if len(fields) != 2 {
+				return nil, 0, &ParseError{Line: i + 1, Msg: "loop needs a repeat count"}
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, 0, &ParseError{Line: i + 1, Msg: fmt.Sprintf("bad loop count %q", fields[1])}
+			}
+			inner, next, err := p.parseBlock(lines, i+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			body = append(body, Loop{Count: n, Body: inner})
+			i = next
+		default:
+			st, err := parseAssign(line, i+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			body = append(body, st)
+			i++
+		}
+	}
+	return nil, 0, &ParseError{Line: len(lines), Msg: "missing 'end'"}
+}
+
+// parseAssign parses `target = expr` or `target op= expr`.
+func parseAssign(line string, lineNo int) (Assign, error) {
+	for _, op := range []string{"+=", "-=", "*=", "="} {
+		idx := strings.Index(line, op)
+		if idx < 0 {
+			continue
+		}
+		target := strings.TrimSpace(line[:idx])
+		if !isIdent(target) {
+			return Assign{}, &ParseError{Line: lineNo, Msg: fmt.Sprintf("bad assignment target %q", target)}
+		}
+		rhs := line[idx+len(op):]
+		var reads []string
+		if op != "=" {
+			reads = append(reads, target) // compound assignment reads the target
+		}
+		for _, tok := range tokenize(rhs) {
+			if isIdent(tok) {
+				reads = append(reads, tok)
+			} else if _, err := strconv.Atoi(tok); err != nil && !isOperator(tok) {
+				return Assign{}, &ParseError{Line: lineNo, Msg: fmt.Sprintf("bad token %q", tok)}
+			}
+		}
+		return Assign{Target: target, Reads: reads}, nil
+	}
+	return Assign{}, &ParseError{Line: lineNo, Msg: "statement is not an assignment, loop, var or end"}
+}
+
+func tokenize(expr string) []string {
+	for _, op := range []string{"+", "-", "*", "/", "(", ")"} {
+		expr = strings.ReplaceAll(expr, op, " "+op+" ")
+	}
+	return strings.Fields(expr)
+}
+
+func isOperator(tok string) bool {
+	switch tok {
+	case "+", "-", "*", "/", "(", ")":
+		return true
+	}
+	return false
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func strip(line string) string {
+	if i := strings.Index(line, "#"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+// EmitFunc lowers one function to its access sequence.
+func EmitFunc(f Func) (*trace.Sequence, error) {
+	var tokens []string
+	var emit func(body []Stmt)
+	emit = func(body []Stmt) {
+		for _, st := range body {
+			switch s := st.(type) {
+			case Assign:
+				tokens = append(tokens, s.Reads...)
+				tokens = append(tokens, s.Target+"!")
+			case Loop:
+				for r := 0; r < s.Count; r++ {
+					emit(s.Body)
+				}
+			}
+		}
+	}
+	emit(f.Body)
+	if len(tokens) == 0 {
+		return &trace.Sequence{}, nil
+	}
+	return trace.NewNamedSequence(tokens...)
+}
+
+// Compile parses a source file and lowers every function, producing a
+// benchmark with one access sequence per function — the same shape as an
+// OffsetStone workload.
+func Compile(name, src string) (*trace.Benchmark, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	b := &trace.Benchmark{Name: name}
+	for _, f := range prog.Funcs {
+		s, err := EmitFunc(f)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: func %s: %w", f.Name, err)
+		}
+		b.Sequences = append(b.Sequences, s)
+	}
+	return b, nil
+}

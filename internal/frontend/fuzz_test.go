@@ -1,0 +1,56 @@
+package frontend
+
+import "testing"
+
+func FuzzCompile(f *testing.F) {
+	f.Add("func f\n a = b + c\nend\n")
+	f.Add("func f\n loop 3\n  x += y\n end\nend\n")
+	f.Add("func f\nend\nfunc g\n var q\n q = q * q\nend\n")
+	f.Add("loop loop loop")
+	f.Add("func f\n loop 1000000000\nend\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		// Guard against pathological loop bombs in fuzz inputs: the
+		// parser itself must stay fast; emission is only attempted for
+		// small programs.
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		total := 0
+		var count func(body []Stmt, mult int) int
+		count = func(body []Stmt, mult int) int {
+			n := 0
+			for _, st := range body {
+				switch s := st.(type) {
+				case Assign:
+					n += mult * (len(s.Reads) + 1)
+				case Loop:
+					m := mult * s.Count
+					if m > 1<<20 || m < 0 {
+						return 1 << 30
+					}
+					n += count(s.Body, m)
+				}
+				if n > 1<<20 {
+					return 1 << 30
+				}
+			}
+			return n
+		}
+		for _, fn := range prog.Funcs {
+			total += count(fn.Body, 1)
+		}
+		if total > 1<<20 {
+			return
+		}
+		b, err := Compile("fuzz", src)
+		if err != nil {
+			t.Fatalf("Parse accepted but Compile failed: %v", err)
+		}
+		for i, s := range b.Sequences {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("func %d: invalid sequence: %v", i, err)
+			}
+		}
+	})
+}

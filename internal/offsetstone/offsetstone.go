@@ -1,0 +1,351 @@
+// Package offsetstone provides a synthetic stand-in for the OffsetStone
+// benchmark suite (Leupers, CC'03) used by the paper's evaluation.
+//
+// The original suite ships address-access sequences extracted from 31 real
+// applications (the paper's Fig. 4 x-axis lists them; the text rounds to
+// "30 benchmarks"). Those traces are not redistributable here, so this
+// package regenerates workloads with the same published shape — per
+// benchmark: several access sequences (one per compiled function), 1 to
+// 1336 variables per sequence, sequence lengths 1 to 3640 — and with the
+// structural features that drive placement quality:
+//
+//   - loop kernels: short variable tuples repeated many times, producing
+//     the heavy access-graph edges that intra-DBC heuristics exploit;
+//   - program phases: groups of variables live only within a phase,
+//     producing the disjoint lifespans the DMA heuristic separates;
+//   - hot globals: a small Zipf-weighted working set accessed throughout,
+//     producing the frequency skew the AFD baseline keys on.
+//
+// Generation is fully deterministic: each benchmark derives its PRNG seed
+// from its name, so every run of the harness sees identical traces.
+// See DESIGN.md §3 for the substitution argument.
+package offsetstone
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// Profile controls the shape of one generated benchmark.
+type Profile struct {
+	// Name is the benchmark name (and the seed of its PRNG).
+	Name string
+	// Sequences is the number of access sequences (functions).
+	Sequences int
+	// MinVars, MaxVars bound the per-sequence variable count.
+	MinVars, MaxVars int
+	// MinLen, MaxLen bound the per-sequence access count.
+	MinLen, MaxLen int
+	// Phases is the typical number of disjoint program phases per
+	// sequence; 1 disables phasing.
+	Phases int
+	// Loopiness in [0,1] is the fraction of accesses emitted by repeated
+	// loop kernels.
+	Loopiness float64
+	// HotFraction in [0,1] is the fraction of variables promoted to the
+	// always-live hot set.
+	HotFraction float64
+	// WriteFraction in [0,1] is the probability that an access is a store.
+	WriteFraction float64
+}
+
+// catalog lists the 31 OffsetStone applications named in the paper's
+// Fig. 4, with profiles chosen to span the published workload ranges:
+// control-dominated tools (bison, cpp, flex, gzip, cc65, f2c, eqntott,
+// lpsolve) get many variables and long irregular sequences; DSP/media
+// kernels (adpcm, dct, fft, gsm, h263, jpeg, mp3, mpeg2, viterbi, motion,
+// dspstone) get loop-heavy phased traces.
+var catalog = []Profile{
+	{Name: "8051", Sequences: 8, MinVars: 4, MaxVars: 60, MinLen: 10, MaxLen: 300, Phases: 2, Loopiness: 0.4, HotFraction: 0.15, WriteFraction: 0.3},
+	{Name: "adpcm", Sequences: 4, MinVars: 6, MaxVars: 40, MinLen: 40, MaxLen: 500, Phases: 3, Loopiness: 0.7, HotFraction: 0.1, WriteFraction: 0.25},
+	{Name: "anagram", Sequences: 5, MinVars: 3, MaxVars: 30, MinLen: 10, MaxLen: 200, Phases: 2, Loopiness: 0.5, HotFraction: 0.2, WriteFraction: 0.3},
+	{Name: "anthr", Sequences: 6, MinVars: 5, MaxVars: 80, MinLen: 20, MaxLen: 400, Phases: 3, Loopiness: 0.45, HotFraction: 0.15, WriteFraction: 0.3},
+	{Name: "bdd", Sequences: 7, MinVars: 8, MaxVars: 120, MinLen: 30, MaxLen: 700, Phases: 2, Loopiness: 0.35, HotFraction: 0.2, WriteFraction: 0.35},
+	{Name: "bison", Sequences: 10, MinVars: 10, MaxVars: 300, MinLen: 40, MaxLen: 1500, Phases: 4, Loopiness: 0.3, HotFraction: 0.2, WriteFraction: 0.3},
+	{Name: "cavity", Sequences: 4, MinVars: 8, MaxVars: 50, MinLen: 60, MaxLen: 800, Phases: 3, Loopiness: 0.75, HotFraction: 0.1, WriteFraction: 0.25},
+	{Name: "cc65", Sequences: 12, MinVars: 20, MaxVars: 900, MinLen: 60, MaxLen: 2800, Phases: 5, Loopiness: 0.25, HotFraction: 0.15, WriteFraction: 0.35},
+	{Name: "codecs", Sequences: 6, MinVars: 6, MaxVars: 90, MinLen: 30, MaxLen: 600, Phases: 3, Loopiness: 0.6, HotFraction: 0.12, WriteFraction: 0.3},
+	{Name: "cpp", Sequences: 9, MinVars: 15, MaxVars: 400, MinLen: 50, MaxLen: 2000, Phases: 4, Loopiness: 0.3, HotFraction: 0.2, WriteFraction: 0.3},
+	{Name: "dct", Sequences: 3, MinVars: 8, MaxVars: 40, MinLen: 80, MaxLen: 900, Phases: 2, Loopiness: 0.85, HotFraction: 0.1, WriteFraction: 0.25},
+	{Name: "dspstone", Sequences: 8, MinVars: 4, MaxVars: 30, MinLen: 20, MaxLen: 400, Phases: 2, Loopiness: 0.8, HotFraction: 0.1, WriteFraction: 0.25},
+	{Name: "eqntott", Sequences: 7, MinVars: 10, MaxVars: 200, MinLen: 30, MaxLen: 1000, Phases: 3, Loopiness: 0.35, HotFraction: 0.18, WriteFraction: 0.3},
+	{Name: "f2c", Sequences: 11, MinVars: 15, MaxVars: 500, MinLen: 50, MaxLen: 2200, Phases: 4, Loopiness: 0.3, HotFraction: 0.15, WriteFraction: 0.3},
+	{Name: "fft", Sequences: 3, MinVars: 8, MaxVars: 50, MinLen: 80, MaxLen: 1000, Phases: 2, Loopiness: 0.8, HotFraction: 0.1, WriteFraction: 0.25},
+	{Name: "flex", Sequences: 10, MinVars: 12, MaxVars: 350, MinLen: 40, MaxLen: 1800, Phases: 4, Loopiness: 0.3, HotFraction: 0.2, WriteFraction: 0.3},
+	{Name: "fuzzy", Sequences: 4, MinVars: 5, MaxVars: 35, MinLen: 20, MaxLen: 350, Phases: 2, Loopiness: 0.6, HotFraction: 0.15, WriteFraction: 0.3},
+	{Name: "gif2asc", Sequences: 4, MinVars: 5, MaxVars: 45, MinLen: 25, MaxLen: 400, Phases: 2, Loopiness: 0.55, HotFraction: 0.15, WriteFraction: 0.3},
+	{Name: "gsm", Sequences: 6, MinVars: 10, MaxVars: 80, MinLen: 60, MaxLen: 1200, Phases: 3, Loopiness: 0.7, HotFraction: 0.1, WriteFraction: 0.25},
+	{Name: "gzip", Sequences: 9, MinVars: 12, MaxVars: 250, MinLen: 40, MaxLen: 1600, Phases: 4, Loopiness: 0.4, HotFraction: 0.18, WriteFraction: 0.3},
+	{Name: "h263", Sequences: 6, MinVars: 10, MaxVars: 120, MinLen: 70, MaxLen: 1500, Phases: 3, Loopiness: 0.7, HotFraction: 0.1, WriteFraction: 0.25},
+	{Name: "hmm", Sequences: 5, MinVars: 8, MaxVars: 70, MinLen: 40, MaxLen: 800, Phases: 3, Loopiness: 0.55, HotFraction: 0.12, WriteFraction: 0.3},
+	{Name: "jpeg", Sequences: 8, MinVars: 10, MaxVars: 150, MinLen: 60, MaxLen: 1700, Phases: 4, Loopiness: 0.65, HotFraction: 0.12, WriteFraction: 0.25},
+	{Name: "klt", Sequences: 4, MinVars: 8, MaxVars: 60, MinLen: 50, MaxLen: 900, Phases: 2, Loopiness: 0.7, HotFraction: 0.1, WriteFraction: 0.25},
+	{Name: "lpsolve", Sequences: 12, MinVars: 30, MaxVars: 1336, MinLen: 80, MaxLen: 3640, Phases: 5, Loopiness: 0.3, HotFraction: 0.15, WriteFraction: 0.3},
+	{Name: "motion", Sequences: 4, MinVars: 6, MaxVars: 50, MinLen: 40, MaxLen: 700, Phases: 2, Loopiness: 0.75, HotFraction: 0.1, WriteFraction: 0.25},
+	{Name: "mp3", Sequences: 9, MinVars: 20, MaxVars: 1000, MinLen: 70, MaxLen: 3000, Phases: 5, Loopiness: 0.5, HotFraction: 0.12, WriteFraction: 0.25},
+	{Name: "mpeg2", Sequences: 8, MinVars: 12, MaxVars: 200, MinLen: 70, MaxLen: 2000, Phases: 4, Loopiness: 0.65, HotFraction: 0.1, WriteFraction: 0.25},
+	{Name: "sparse", Sequences: 5, MinVars: 10, MaxVars: 90, MinLen: 40, MaxLen: 900, Phases: 3, Loopiness: 0.5, HotFraction: 0.15, WriteFraction: 0.3},
+	{Name: "triangle", Sequences: 4, MinVars: 6, MaxVars: 40, MinLen: 20, MaxLen: 500, Phases: 2, Loopiness: 0.6, HotFraction: 0.15, WriteFraction: 0.3},
+	{Name: "viterbi", Sequences: 4, MinVars: 8, MaxVars: 60, MinLen: 50, MaxLen: 900, Phases: 3, Loopiness: 0.75, HotFraction: 0.1, WriteFraction: 0.25},
+}
+
+// Names returns the benchmark names in the paper's presentation order.
+func Names() []string {
+	out := make([]string, len(catalog))
+	for i, p := range catalog {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// ProfileFor returns the generation profile of a named benchmark.
+func ProfileFor(name string) (Profile, error) {
+	for _, p := range catalog {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("offsetstone: unknown benchmark %q", name)
+}
+
+// seedFor derives a stable 64-bit seed from the benchmark name.
+func seedFor(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+// Generate produces the synthetic trace for a named benchmark.
+func Generate(name string) (*trace.Benchmark, error) {
+	p, err := ProfileFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateProfile(p), nil
+}
+
+// GenerateProfile produces a benchmark from an arbitrary profile,
+// deterministically in the profile's name.
+func GenerateProfile(p Profile) *trace.Benchmark {
+	rng := rand.New(rand.NewSource(seedFor(p.Name)))
+	b := &trace.Benchmark{Name: p.Name}
+	for i := 0; i < p.Sequences; i++ {
+		b.Sequences = append(b.Sequences, generateSequence(rng, p))
+	}
+	return b
+}
+
+// Suite generates all benchmarks in catalog order.
+func Suite() []*trace.Benchmark {
+	out := make([]*trace.Benchmark, 0, len(catalog))
+	for _, p := range catalog {
+		out = append(out, GenerateProfile(p))
+	}
+	return out
+}
+
+// generateSequence emits one access sequence per the profile: variables
+// are partitioned into a hot set (live throughout) and per-phase private
+// sets (live only inside their phase); each phase interleaves loop-kernel
+// repetitions over private variables with Zipf-weighted hot accesses and
+// uniform private singles.
+func generateSequence(rng *rand.Rand, p Profile) *trace.Sequence {
+	length := p.MinLen
+	if p.MaxLen > p.MinLen {
+		// Skew sizes low: most functions are small, a few are huge, as in
+		// the real suite.
+		f := rng.Float64()
+		f = f * f
+		length += int(f * float64(p.MaxLen-p.MinLen+1))
+		if length > p.MaxLen {
+			length = p.MaxLen
+		}
+	}
+	// Variable count scales with function size — offset-assignment traces
+	// average only a few accesses per local variable (Leupers reports
+	// sequence lengths around 3x the variable count) — clamped to the
+	// profile's range.
+	nv := length / (2 + rng.Intn(3))
+	if nv < p.MinVars {
+		nv = p.MinVars
+	}
+	if nv > p.MaxVars {
+		nv = p.MaxVars
+	}
+	if length < nv {
+		// Guarantee that most variables can appear at least once.
+		length = nv
+	}
+
+	s := &trace.Sequence{Names: varNames(nv)}
+
+	nHot := int(p.HotFraction * float64(nv))
+	if nHot < 1 && nv >= 3 {
+		nHot = 1
+	}
+	if nHot >= nv {
+		nHot = nv - 1
+	}
+	if nHot < 0 {
+		nHot = 0
+	}
+	hot := make([]int, nHot)
+	for i := range hot {
+		hot[i] = i
+	}
+	private := make([]int, 0, nv-nHot)
+	for v := nHot; v < nv; v++ {
+		private = append(private, v)
+	}
+
+	phases := p.Phases
+	if phases < 1 {
+		phases = 1
+	}
+	if phases > len(private) {
+		phases = max(1, len(private))
+	}
+	// Split private variables into contiguous per-phase groups.
+	groups := make([][]int, phases)
+	for i, v := range private {
+		g := i * phases / max(len(private), 1)
+		if g >= phases {
+			g = phases - 1
+		}
+		groups[g] = append(groups[g], v)
+	}
+
+	perPhase := length / phases
+	for g := 0; g < phases; g++ {
+		budget := perPhase
+		if g == phases-1 {
+			budget = length - perPhase*(phases-1)
+		}
+		emitPhase(rng, s, p, groups[g], hot, budget)
+	}
+	return s
+}
+
+// emitPhase emits one phase's accesses with a sliding working set over the
+// phase's private variables. Compiler-extracted offset-assignment traces
+// come from mostly straight-line code: a local variable is defined, used a
+// few times in nearby statements, and never touched again, so variable
+// lifespans march forward through the function with only small overlaps —
+// exactly the disjointness structure the DMA heuristic separates. The
+// window models that march: loop kernels and singles draw only from the
+// current window, which slides across the private set as the phase
+// progresses; hot variables are sprinkled throughout and stay live across
+// the whole sequence.
+func emitPhase(rng *rand.Rand, s *trace.Sequence, p Profile, group, hot []int, budget int) {
+	emit := func(v int) {
+		s.Append(v, rng.Float64() < p.WriteFraction)
+	}
+	if len(group) == 0 {
+		// A phase with no private variables only touches hot ones.
+		for ; budget > 0 && len(hot) > 0; budget-- {
+			emit(hot[zipf(rng, len(hot))])
+		}
+		return
+	}
+
+	win := 2 + rng.Intn(5) // working-set size 2..6
+	if win > len(group) {
+		win = len(group)
+	}
+	total := budget
+	emitted := 0
+	window := func() []int {
+		span := len(group) - win
+		idx := 0
+		if span > 0 && total > 0 {
+			idx = emitted * (span + 1) / total
+			if idx > span {
+				idx = span
+			}
+		}
+		return group[idx : idx+win]
+	}
+	for budget > 0 {
+		pool := window()
+		r := rng.Float64()
+		switch {
+		case r < p.Loopiness && len(pool) >= 2:
+			// Loop kernel: tuple of 2..4 working-set variables repeated
+			// 2..12 times (occasionally including a hot operand).
+			k := 2 + rng.Intn(min(3, len(pool)-1))
+			tuple := make([]int, k)
+			for i := range tuple {
+				tuple[i] = pool[rng.Intn(len(pool))]
+			}
+			if len(hot) > 0 && rng.Float64() < 0.2 {
+				tuple[rng.Intn(len(tuple))] = hot[zipf(rng, len(hot))]
+			}
+			reps := 2 + rng.Intn(11)
+			for rep := 0; rep < reps && budget > 0; rep++ {
+				for _, v := range tuple {
+					if budget == 0 {
+						break
+					}
+					emit(v)
+					budget--
+					emitted++
+				}
+			}
+		case r < p.Loopiness+0.15 && len(hot) > 0:
+			// Zipf-weighted hot access.
+			emit(hot[zipf(rng, len(hot))])
+			budget--
+			emitted++
+		default:
+			// Straight-line burst on one working-set variable.
+			v := pool[rng.Intn(len(pool))]
+			reps := 1 + rng.Intn(3)
+			for rep := 0; rep < reps && budget > 0; rep++ {
+				emit(v)
+				budget--
+				emitted++
+			}
+		}
+	}
+}
+
+// zipf picks an index in [0,n) with probability proportional to 1/(i+1).
+func zipf(rng *rand.Rand, n int) int {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / float64(i+1)
+	}
+	r := rng.Float64() * total
+	for i := 0; i < n; i++ {
+		r -= 1 / float64(i+1)
+		if r <= 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+func varNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("v%d", i)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/rtm"
+	"repro/internal/trace"
+)
+
+// ShiftCost replays the access sequence against the placement and returns
+// the total number of shift operations under the paper's cost model: per
+// DBC, each access costs the absolute offset distance from the previously
+// accessed variable in that DBC; the first access of each DBC is free.
+//
+// This is the single-port fast path used as the GA fitness function; it is
+// equivalent to driving one rtm.ShiftEngine per DBC with one port per
+// track (see TestCostMatchesEngine).
+func ShiftCost(s *trace.Sequence, p *Placement) (int64, error) {
+	l, err := p.BuildLookup(s.NumVars())
+	if err != nil {
+		return 0, err
+	}
+	return shiftCostLookup(s, l), nil
+}
+
+// shiftCostLookup is the allocation-light inner loop shared by ShiftCost
+// and the search algorithms. The lookup must cover every accessed variable.
+func shiftCostLookup(s *trace.Sequence, l *Lookup) int64 {
+	// last[d] is the offset of the previously accessed variable in DBC d,
+	// or -1 when the DBC is still cold.
+	last := make([]int, numDBCsIn(l))
+	for i := range last {
+		last[i] = -1
+	}
+	var total int64
+	for _, a := range s.Accesses {
+		d := l.DBCOf[a.Var]
+		off := l.Offset[a.Var]
+		if prev := last[d]; prev >= 0 {
+			if off > prev {
+				total += int64(off - prev)
+			} else {
+				total += int64(prev - off)
+			}
+		}
+		last[d] = off
+	}
+	return total
+}
+
+func numDBCsIn(l *Lookup) int {
+	max := 0
+	for _, d := range l.DBCOf {
+		if d+1 > max {
+			max = d + 1
+		}
+	}
+	return max
+}
+
+// CostBreakdown reports the per-DBC shift totals and access counts,
+// mirroring the S0/S1 decomposition in Fig. 3 of the paper.
+type CostBreakdown struct {
+	PerDBC   []int64
+	Accesses []int64
+	Total    int64
+}
+
+// ShiftCostBreakdown is ShiftCost with per-DBC attribution.
+func ShiftCostBreakdown(s *trace.Sequence, p *Placement) (*CostBreakdown, error) {
+	l, err := p.BuildLookup(s.NumVars())
+	if err != nil {
+		return nil, err
+	}
+	q := len(p.DBC)
+	b := &CostBreakdown{PerDBC: make([]int64, q), Accesses: make([]int64, q)}
+	last := make([]int, q)
+	for i := range last {
+		last[i] = -1
+	}
+	for i, a := range s.Accesses {
+		d := l.DBCOf[a.Var]
+		if d < 0 || d >= q {
+			return nil, fmt.Errorf("placement: access %d to unplaced variable %s", i, s.Name(a.Var))
+		}
+		off := l.Offset[a.Var]
+		if prev := last[d]; prev >= 0 {
+			delta := off - prev
+			if delta < 0 {
+				delta = -delta
+			}
+			b.PerDBC[d] += int64(delta)
+			b.Total += int64(delta)
+		}
+		last[d] = off
+		b.Accesses[d]++
+	}
+	return b, nil
+}
+
+// EngineCost replays the sequence through rtm shift engines, one per DBC,
+// supporting multi-port geometries. domainsPerDBC must be at least the
+// fullest DBC of the placement; ports is the number of access ports per
+// track. With ports == 1 this matches ShiftCost exactly.
+func EngineCost(s *trace.Sequence, p *Placement, domainsPerDBC, ports int) (int64, error) {
+	if n := p.MaxDBCLen(); domainsPerDBC < n {
+		return 0, fmt.Errorf("placement: DBC holds %d variables but device has %d domains", n, domainsPerDBC)
+	}
+	l, err := p.BuildLookup(s.NumVars())
+	if err != nil {
+		return 0, err
+	}
+	engines := make([]*rtm.ShiftEngine, len(p.DBC))
+	for i := range engines {
+		e, err := rtm.NewShiftEngine(domainsPerDBC, ports)
+		if err != nil {
+			return 0, err
+		}
+		engines[i] = e
+	}
+	var total int64
+	for i, a := range s.Accesses {
+		d := l.DBCOf[a.Var]
+		if d < 0 {
+			return 0, fmt.Errorf("placement: access %d to unplaced variable %s", i, s.Name(a.Var))
+		}
+		c, err := engines[d].Access(l.Offset[a.Var])
+		if err != nil {
+			return 0, err
+		}
+		total += int64(c)
+	}
+	return total, nil
+}
+
+// LowerBound returns a simple lower bound on the shift cost of any
+// placement into q DBCs. For q == 1 every transition between distinct
+// variables costs at least one shift (distinct variables occupy distinct
+// offsets), so the non-self transition count bounds the cost from below.
+// For q > 1 a transition pair can be split across DBCs at zero cost, so
+// the only safe generic bound is zero.
+func LowerBound(s *trace.Sequence, q int) int64 {
+	if q > 1 {
+		return 0
+	}
+	g := trace.BuildGraph(s)
+	return int64(g.TotalWeight())
+}

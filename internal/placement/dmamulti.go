@@ -1,0 +1,141 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// This file implements the paper's stated future work (section VI):
+// "explore placement of more than one sets of disjoint variables in the
+// same DBC and in different DBCs and their integration with non-disjoint
+// variables". DMAMulti extracts disjoint sets repeatedly — after the first
+// greedy pass removes Vdj, a second pass runs on the remaining variables,
+// and so on — and gives each set its own DBC in access order, falling back
+// to AFD-style distribution for whatever remains.
+
+// extractDisjoint runs one greedy pass of Algorithm 1 lines 5-12 over the
+// candidate variables (which must be in ascending first-use order) and
+// returns (selected, remaining), both in ascending first-use order.
+// admitTies selects the ablation variant that admits a variable whose
+// access frequency merely equals the nested frequency sum (the paper uses
+// strict >).
+func extractDisjoint(a *trace.Analysis, candidates []int, admitTies bool) (selected, remaining []int) {
+	tmin := 0
+	for idx, v := range candidates {
+		if a.First[v] > tmin {
+			others := make([]int, 0, len(remaining)+len(candidates)-idx-1)
+			others = append(others, remaining...)
+			others = append(others, candidates[idx+1:]...)
+			inner := a.InnerFreqSum(v, others)
+			if a.Freq[v] > inner || (admitTies && a.Freq[v] == inner) {
+				selected = append(selected, v)
+				tmin = a.Last[v]
+				continue
+			}
+		}
+		remaining = append(remaining, v)
+	}
+	return selected, remaining
+}
+
+// DMAMultiResult is the output of DMAMulti.
+type DMAMultiResult struct {
+	Placement *Placement
+	// Sets holds the extracted disjoint sets, in extraction order; set i
+	// occupies DBC i (after merging when sets exceed DBCs).
+	Sets [][]int
+	// DisjointDBCs is the number of leading DBCs holding disjoint sets.
+	DisjointDBCs int
+}
+
+// DMAMulti generalizes the DMA heuristic to maxSets disjoint sets. Each
+// extracted set is stored in its own DBC in access order; when the sets
+// outnumber the DBCs available (always keeping one DBC for the leftover
+// variables if any), later sets are merged into earlier DBCs in global
+// first-use order — variables from different merged sets interleave, but
+// each set keeps its internal access order. maxSets <= 0 extracts until
+// exhaustion.
+func DMAMulti(a *trace.Analysis, q, capacity, maxSets int) (*DMAMultiResult, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("placement: q must be positive, got %d", q)
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("placement: capacity must be non-negative, got %d", capacity)
+	}
+
+	remaining := a.ByFirstUse()
+	var sets [][]int
+	for maxSets <= 0 || len(sets) < maxSets {
+		var sel []int
+		sel, remaining = extractDisjoint(a, remaining, false)
+		if len(sel) == 0 {
+			break
+		}
+		sets = append(sets, sel)
+		if len(remaining) == 0 {
+			break
+		}
+	}
+
+	// DBC budget for disjoint sets: leave one DBC for leftovers if any.
+	budget := q
+	if len(remaining) > 0 && budget > 1 {
+		budget--
+	}
+	if len(remaining) > 0 && budget == q {
+		// q == 1: everything shares the single DBC in first-use order.
+		all := a.ByFirstUse()
+		p := NewEmpty(1)
+		p.DBC[0] = all
+		return &DMAMultiResult{Placement: p, Sets: sets, DisjointDBCs: 0}, nil
+	}
+
+	k := len(sets)
+	if k > budget {
+		k = budget
+	}
+	p := NewEmpty(q)
+	for i, set := range sets {
+		d := i
+		if d >= k {
+			// Merge into an earlier DBC, round-robin.
+			if k == 0 {
+				break
+			}
+			d = i % k
+		}
+		p.DBC[d] = mergeByFirstUse(a, p.DBC[d], set)
+	}
+	// Leftovers: AFD-style round-robin by descending frequency on the
+	// remaining DBCs.
+	if len(remaining) > 0 {
+		rest := append([]int(nil), remaining...)
+		sortByFreqDesc(a, rest)
+		width := q - k
+		if width <= 0 {
+			width = 1
+		}
+		for i, v := range rest {
+			d := k + i%width
+			if d >= q {
+				d = q - 1
+			}
+			p.DBC[d] = append(p.DBC[d], v)
+		}
+	}
+	return &DMAMultiResult{Placement: p, Sets: sets, DisjointDBCs: k}, nil
+}
+
+// DMAWithRule is DMA with the ablation knob for the disjoint-set admission
+// rule exposed (admitTies: >= instead of the paper's strict >).
+func DMAWithRule(a *trace.Analysis, q, capacity int, admitTies bool) (*DMAResult, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("placement: q must be positive, got %d", q)
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("placement: capacity must be non-negative, got %d", capacity)
+	}
+	vdj, remaining := extractDisjoint(a, a.ByFirstUse(), admitTies)
+	return assembleDMA(a, q, capacity, vdj, remaining)
+}

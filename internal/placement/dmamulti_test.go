@@ -1,0 +1,212 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func TestExtractDisjointMatchesDMA(t *testing.T) {
+	// DMAWithRule(admitTies=false) must behave exactly like DMA.
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 40; trial++ {
+		s := randSeq(rng, 1+rng.Intn(14), 1+rng.Intn(80))
+		a := trace.Analyze(s)
+		q := 1 + rng.Intn(4)
+		r1, err := DMA(a, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := DMAWithRule(a, q, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r1.Placement.Equal(r2.Placement) {
+			t.Fatalf("trial %d: DMA and DMAWithRule(false) diverge:\n%v\n%v",
+				trial, r1.Placement, r2.Placement)
+		}
+	}
+}
+
+func TestAdmitTiesAdmitsMore(t *testing.T) {
+	// Construct a tie: variable 0 spans variable 1, with equal frequency.
+	// 0 .. 1 1 .. 0 : Av(0)=2, inner sum = Av(1)=2.
+	s := trace.NewSequence(0, 1, 1, 0, 2, 2)
+	a := trace.Analyze(s)
+	strict, err := DMAWithRule(a, 2, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ties, err := DMAWithRule(a, 2, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ties.Disjoint) < len(strict.Disjoint) {
+		t.Errorf("tie admission selected fewer variables: %v vs %v",
+			ties.Disjoint, strict.Disjoint)
+	}
+	// The strict rule must reject variable 0 (2 > 2 is false): its
+	// disjoint set starts with variable 1 instead.
+	for _, v := range strict.Disjoint {
+		if v == 0 {
+			t.Errorf("strict rule admitted the tied variable: %v", strict.Disjoint)
+		}
+	}
+	// The tie rule admits variable 0 first.
+	if len(ties.Disjoint) == 0 || ties.Disjoint[0] != 0 {
+		t.Errorf("tie rule should admit variable 0 first: %v", ties.Disjoint)
+	}
+}
+
+func TestDMAMultiExtractsMultipleSets(t *testing.T) {
+	// Two interleaved phase chains: vars 0,1 overlap each other but are
+	// disjoint from 2,3 (second phase). One greedy pass takes one chain
+	// element per phase; the second pass picks up more.
+	s := trace.NewSequence(
+		0, 1, 0, 1, 0, 1, // phase A: 0 and 1 overlap
+		2, 3, 2, 3, 2, 3, // phase B: 2 and 3 overlap
+	)
+	a := trace.Analyze(s)
+	r, err := DMAMulti(a, 4, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sets) < 2 {
+		t.Fatalf("expected at least 2 disjoint sets, got %v", r.Sets)
+	}
+	if err := r.Placement.Validate(s, 0); err != nil {
+		t.Fatalf("invalid placement: %v", err)
+	}
+	// Every extracted set must be pairwise disjoint internally.
+	for _, set := range r.Sets {
+		for i := 0; i < len(set); i++ {
+			for j := i + 1; j < len(set); j++ {
+				if !a.Disjoint(set[i], set[j]) {
+					t.Errorf("set %v contains overlapping pair (%d,%d)", set, set[i], set[j])
+				}
+			}
+		}
+	}
+}
+
+func TestDMAMultiRespectsMaxSets(t *testing.T) {
+	s := trace.NewSequence(0, 1, 0, 1, 2, 3, 2, 3, 4, 5, 4, 5)
+	a := trace.Analyze(s)
+	r, err := DMAMulti(a, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sets) > 1 {
+		t.Errorf("maxSets=1 extracted %d sets", len(r.Sets))
+	}
+}
+
+func TestDMAMultiMergesWhenSetsExceedDBCs(t *testing.T) {
+	// Many tiny phases with q=2: one DBC for merged disjoint sets, one for
+	// the rest.
+	vars := make([]int, 0, 40)
+	for v := 0; v < 10; v++ {
+		vars = append(vars, v, v, v, v)
+	}
+	s := trace.NewSequence(vars...)
+	a := trace.Analyze(s)
+	r, err := DMAMulti(a, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Placement.Validate(s, 0); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if r.Placement.NumDBCs() != 2 {
+		t.Errorf("NumDBCs = %d", r.Placement.NumDBCs())
+	}
+}
+
+func TestDMAMultiSingleDBC(t *testing.T) {
+	s := trace.NewSequence(0, 1, 0, 2, 2)
+	a := trace.Analyze(s)
+	r, err := DMAMulti(a, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Placement.Validate(s, 0); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestDMAMultiErrors(t *testing.T) {
+	s := trace.NewSequence(0, 1)
+	a := trace.Analyze(s)
+	if _, err := DMAMulti(a, 0, 0, 0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := DMAMulti(a, 2, -1, 0); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := DMAWithRule(a, 0, 0, false); err == nil {
+		t.Error("q=0 accepted by DMAWithRule")
+	}
+}
+
+// Property: DMAMulti always yields a valid placement.
+func TestDMAMultiAlwaysValid(t *testing.T) {
+	f := func(raw []uint8, qRaw, setsRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vars := make([]int, len(raw))
+		for i, r := range raw {
+			vars[i] = int(r % 14)
+		}
+		s := trace.NewSequence(vars...)
+		a := trace.Analyze(s)
+		q := int(qRaw%5) + 1
+		maxSets := int(setsRaw % 4) // 0..3
+		r, err := DMAMulti(a, q, 0, maxSets)
+		if err != nil {
+			return false
+		}
+		return r.Placement.Validate(s, 0) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// On strongly phased traces whose phases contain two overlapping chains
+// with varying frequencies, DMAMulti must beat plain DMA: the single
+// greedy pass extracts only the first chain and hands the second to the
+// frequency-sorted AFD distribution, which scrambles its access order;
+// the second extraction pass keeps the chain intact in its own DBC.
+func TestDMAMultiBeatsDMAOnTwoChains(t *testing.T) {
+	var vars []int
+	phases := 12
+	for p := 0; p < phases; p++ {
+		b, c := 2*p, 2*p+1
+		reps := 9
+		if p%2 == 1 {
+			reps = 2 // alternating frequency scrambles descending-Av order
+		}
+		for r := 0; r < reps; r++ {
+			vars = append(vars, b, c)
+		}
+	}
+	s := trace.NewSequence(vars...)
+	an := trace.Analyze(s)
+	q := 3
+	single, err := DMA(an, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := DMAMulti(an, q, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := ShiftCost(s, single.Placement)
+	cm, _ := ShiftCost(s, multi.Placement)
+	if cm >= cs {
+		t.Errorf("DMAMulti (%d) should strictly beat DMA (%d) on two-chain phases", cm, cs)
+	}
+}

@@ -1,0 +1,434 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// GAConfig carries the genetic-algorithm parameters of section III-C of
+// the paper. DefaultGAConfig returns the published values.
+type GAConfig struct {
+	// Mu is the population size carried between generations (µ = 100).
+	Mu int
+	// Lambda is the number of offspring per generation (λ = 100).
+	Lambda int
+	// Generations is the number of iterations (200 in the evaluation;
+	// 2000 for the long-run optimality probe).
+	Generations int
+	// TournamentK is the tournament size for selection (4).
+	TournamentK int
+	// MutationRate is the per-offspring probability of applying one
+	// mutation after crossover. The paper does not publish this value;
+	// 0.5 is used and ablated in bench_test.go.
+	MutationRate float64
+	// MoveWeight, TransposeWeight, PermuteWeight skew the choice between
+	// the three mutation operators. The paper skews the destructive
+	// whole-DBC permutation against the others "in a ratio of 10 : 3".
+	MoveWeight      int
+	TransposeWeight int
+	PermuteWeight   int
+	// Seed drives the deterministic PRNG.
+	Seed int64
+	// Seeds optionally injects heuristic placements into the initial
+	// population (the paper seeds with its heuristic results).
+	Seeds []*Placement
+	// Capacity, when positive, rejects DBC overflows during search.
+	Capacity int
+	// Workers evaluates offspring fitness on this many goroutines
+	// (0 or 1 = sequential). Search decisions stay on one PRNG stream, so
+	// results are deterministic for a fixed Seed regardless of Workers.
+	Workers int
+}
+
+// DefaultGAConfig returns the paper's published GA parameters.
+func DefaultGAConfig() GAConfig {
+	return GAConfig{
+		Mu:              100,
+		Lambda:          100,
+		Generations:     200,
+		TournamentK:     4,
+		MutationRate:    0.5,
+		MoveWeight:      10,
+		TransposeWeight: 10,
+		PermuteWeight:   3,
+		Seed:            1,
+	}
+}
+
+// GAResult reports the best placement found and search statistics.
+type GAResult struct {
+	Best        *Placement
+	Cost        int64
+	Generations int
+	Evaluations int64
+	// History records the best cost after every generation, for
+	// convergence plots.
+	History []int64
+}
+
+type individual struct {
+	p    *Placement
+	cost int64
+}
+
+// GA runs the paper's µ+λ genetic algorithm over complete placements for
+// the sequence into q DBCs.
+func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("placement: q must be positive, got %d", q)
+	}
+	if cfg.Mu <= 0 || cfg.Lambda <= 0 || cfg.Generations < 0 || cfg.TournamentK <= 0 {
+		return nil, fmt.Errorf("placement: invalid GA config %+v", cfg)
+	}
+	a := trace.Analyze(s)
+	vars := a.ByFirstUse() // variables indexed by appearance order, as the crossover requires
+	if len(vars) == 0 {
+		return &GAResult{Best: NewEmpty(q)}, nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lookup := &Lookup{DBCOf: make([]int, s.NumVars()), Offset: make([]int, s.NumVars())}
+
+	evalCount := int64(0)
+	eval := func(p *Placement) int64 {
+		fillLookup(lookup, p)
+		evalCount++
+		return shiftCostLookup(s, lookup)
+	}
+
+	pop := make([]individual, 0, cfg.Mu)
+	for _, seed := range cfg.Seeds {
+		if len(pop) == cfg.Mu {
+			break
+		}
+		if seed.NumDBCs() != q {
+			return nil, fmt.Errorf("placement: seed has %d DBCs, want %d", seed.NumDBCs(), q)
+		}
+		c := seed.Clone()
+		pop = append(pop, individual{p: c, cost: eval(c)})
+	}
+	for len(pop) < cfg.Mu {
+		p := randomPlacement(rng, vars, q, cfg.Capacity)
+		pop = append(pop, individual{p: p, cost: eval(p)})
+	}
+
+	best := pop[0]
+	for _, ind := range pop[1:] {
+		if ind.cost < best.cost {
+			best = ind
+		}
+	}
+
+	res := &GAResult{History: make([]int64, 0, cfg.Generations)}
+	for gen := 0; gen < cfg.Generations; gen++ {
+		// Breed the whole offspring batch first (sequential, one PRNG
+		// stream), then evaluate fitness — possibly in parallel.
+		offspring := make([]individual, 0, cfg.Lambda)
+		for len(offspring) < cfg.Lambda {
+			p1 := tournament(rng, pop, cfg.TournamentK)
+			p2 := tournament(rng, pop, cfg.TournamentK)
+			c1, c2 := crossover(rng, p1.p, p2.p, vars, cfg.Capacity)
+			for _, c := range []*Placement{c1, c2} {
+				if len(offspring) == cfg.Lambda {
+					break
+				}
+				if rng.Float64() < cfg.MutationRate {
+					mutate(rng, c, cfg)
+				}
+				offspring = append(offspring, individual{p: c})
+			}
+		}
+		if cfg.Workers > 1 {
+			evalParallel(s, offspring, cfg.Workers)
+			evalCount += int64(len(offspring))
+		} else {
+			for i := range offspring {
+				offspring[i].cost = eval(offspring[i].p)
+			}
+		}
+		// µ+λ selection via tournaments over the combined pool, with
+		// elitism: the best individual always survives.
+		pool := append(pop, offspring...)
+		next := make([]individual, 0, cfg.Mu)
+		poolBest := pool[0]
+		for _, ind := range pool[1:] {
+			if ind.cost < poolBest.cost {
+				poolBest = ind
+			}
+		}
+		next = append(next, poolBest)
+		for len(next) < cfg.Mu {
+			next = append(next, tournament(rng, pool, cfg.TournamentK))
+		}
+		pop = next
+		if poolBest.cost < best.cost {
+			best = poolBest
+		}
+		res.History = append(res.History, best.cost)
+	}
+
+	res.Best = best.p.Clone()
+	res.Cost = best.cost
+	res.Generations = cfg.Generations
+	res.Evaluations = evalCount
+	return res, nil
+}
+
+// evalParallel computes offspring fitness on a worker pool; each worker
+// owns its lookup buffer.
+func evalParallel(s *trace.Sequence, offspring []individual, workers int) {
+	if workers > len(offspring) {
+		workers = len(offspring)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lookup := &Lookup{
+				DBCOf:  make([]int, s.NumVars()),
+				Offset: make([]int, s.NumVars()),
+			}
+			for i := range next {
+				fillLookup(lookup, offspring[i].p)
+				offspring[i].cost = shiftCostLookup(s, lookup)
+			}
+		}()
+	}
+	for i := range offspring {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+func fillLookup(l *Lookup, p *Placement) {
+	for v := range l.DBCOf {
+		l.DBCOf[v] = -1
+		l.Offset[v] = -1
+	}
+	for d, vars := range p.DBC {
+		for off, v := range vars {
+			l.DBCOf[v] = d
+			l.Offset[v] = off
+		}
+	}
+}
+
+func tournament(rng *rand.Rand, pop []individual, k int) individual {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.cost < best.cost {
+			best = c
+		}
+	}
+	return best
+}
+
+// randomPlacement assigns each variable to a uniform random DBC and
+// shuffles each DBC, respecting capacity when positive.
+func randomPlacement(rng *rand.Rand, vars []int, q, capacity int) *Placement {
+	p := NewEmpty(q)
+	for _, v := range vars {
+		d := rng.Intn(q)
+		if capacity > 0 {
+			for tries := 0; len(p.DBC[d]) >= capacity && tries < q; tries++ {
+				d = (d + 1) % q
+			}
+		}
+		p.DBC[d] = append(p.DBC[d], v)
+	}
+	for _, d := range p.DBC {
+		rng.Shuffle(len(d), func(i, j int) { d[i], d[j] = d[j], d[i] })
+	}
+	return p
+}
+
+// crossover implements the paper's 2-fold crossover: variables are indexed
+// in sequence-appearance order; a contiguous index range [f, l] is chosen
+// and the DBC assignments of those variables are swapped between the two
+// parents. A swapped variable is removed from its old DBC and appended to
+// the end of its new DBC, so within-DBC orders of untouched variables are
+// preserved and both children remain valid placements. When capacity is
+// positive, a move that would overflow the target DBC is skipped for that
+// child (the other child may still take its half of the swap).
+func crossover(rng *rand.Rand, i, j *Placement, vars []int, capacity int) (*Placement, *Placement) {
+	c1, c2 := i.Clone(), j.Clone()
+	if len(vars) < 2 {
+		return c1, c2
+	}
+	f := rng.Intn(len(vars))
+	l := rng.Intn(len(vars))
+	if f > l {
+		f, l = l, f
+	}
+	d1, _ := dbcIndex(c1)
+	d2, _ := dbcIndex(c2)
+	for _, v := range vars[f : l+1] {
+		r, s := d1[v], d2[v]
+		if r == s {
+			continue
+		}
+		if capacity <= 0 || len(c1.DBC[s]) < capacity {
+			moveVar(c1, v, r, s)
+		}
+		if capacity <= 0 || len(c2.DBC[r]) < capacity {
+			moveVar(c2, v, s, r)
+		}
+	}
+	return c1, c2
+}
+
+// dbcIndex maps each placed variable to its DBC.
+func dbcIndex(p *Placement) (map[int]int, int) {
+	m := make(map[int]int)
+	n := 0
+	for d, vars := range p.DBC {
+		for _, v := range vars {
+			m[v] = d
+			n++
+		}
+	}
+	return m, n
+}
+
+func moveVar(p *Placement, v, from, to int) {
+	d := p.DBC[from]
+	for i, x := range d {
+		if x == v {
+			p.DBC[from] = append(d[:i], d[i+1:]...)
+			break
+		}
+	}
+	p.DBC[to] = append(p.DBC[to], v)
+}
+
+// mutate applies one of the paper's three mutation operators, chosen with
+// the configured weights: move a variable to the end of another DBC,
+// transpose two variables inside one DBC, or randomly permute every DBC.
+func mutate(rng *rand.Rand, p *Placement, cfg GAConfig) {
+	total := cfg.MoveWeight + cfg.TransposeWeight + cfg.PermuteWeight
+	if total <= 0 {
+		return
+	}
+	switch r := rng.Intn(total); {
+	case r < cfg.MoveWeight:
+		mutateMove(rng, p, cfg.Capacity)
+	case r < cfg.MoveWeight+cfg.TransposeWeight:
+		mutateTranspose(rng, p)
+	default:
+		mutatePermute(rng, p)
+	}
+}
+
+func mutateMove(rng *rand.Rand, p *Placement, capacity int) {
+	if len(p.DBC) < 2 {
+		return
+	}
+	// Pick a random variable uniformly over placed variables.
+	n := p.NumPlaced()
+	if n == 0 {
+		return
+	}
+	k := rng.Intn(n)
+	from, idx := -1, -1
+	for d, vars := range p.DBC {
+		if k < len(vars) {
+			from, idx = d, k
+			break
+		}
+		k -= len(vars)
+	}
+	to := rng.Intn(len(p.DBC) - 1)
+	if to >= from {
+		to++
+	}
+	if capacity > 0 && len(p.DBC[to]) >= capacity {
+		return
+	}
+	v := p.DBC[from][idx]
+	p.DBC[from] = append(p.DBC[from][:idx], p.DBC[from][idx+1:]...)
+	p.DBC[to] = append(p.DBC[to], v)
+}
+
+func mutateTranspose(rng *rand.Rand, p *Placement) {
+	// Choose among DBCs with at least two variables.
+	var eligible []int
+	for d, vars := range p.DBC {
+		if len(vars) >= 2 {
+			eligible = append(eligible, d)
+		}
+	}
+	if len(eligible) == 0 {
+		return
+	}
+	d := eligible[rng.Intn(len(eligible))]
+	vars := p.DBC[d]
+	i := rng.Intn(len(vars))
+	j := rng.Intn(len(vars) - 1)
+	if j >= i {
+		j++
+	}
+	vars[i], vars[j] = vars[j], vars[i]
+}
+
+func mutatePermute(rng *rand.Rand, p *Placement) {
+	for _, d := range p.DBC {
+		rng.Shuffle(len(d), func(i, j int) { d[i], d[j] = d[j], d[i] })
+	}
+}
+
+// RWConfig configures the random-walk search baseline.
+type RWConfig struct {
+	// Iterations is the number of random placements evaluated (60 000 in
+	// the paper, the upper bound on individuals the GA could evaluate).
+	Iterations int
+	Seed       int64
+	Capacity   int
+}
+
+// DefaultRWConfig returns the paper's random-walk parameters.
+func DefaultRWConfig() RWConfig { return RWConfig{Iterations: 60000, Seed: 1} }
+
+// RandomWalk generates random placements of the variables to DBCs with
+// random within-DBC permutations and returns the best one found.
+func RandomWalk(s *trace.Sequence, q int, cfg RWConfig) (*Placement, int64, error) {
+	if q <= 0 {
+		return nil, 0, fmt.Errorf("placement: q must be positive, got %d", q)
+	}
+	if cfg.Iterations <= 0 {
+		return nil, 0, fmt.Errorf("placement: iterations must be positive, got %d", cfg.Iterations)
+	}
+	a := trace.Analyze(s)
+	vars := a.ByFirstUse()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lookup := &Lookup{DBCOf: make([]int, s.NumVars()), Offset: make([]int, s.NumVars())}
+
+	var best *Placement
+	var bestCost int64
+	for it := 0; it < cfg.Iterations; it++ {
+		p := randomPlacement(rng, vars, q, cfg.Capacity)
+		fillLookup(lookup, p)
+		c := shiftCostLookup(s, lookup)
+		if best == nil || c < bestCost {
+			best, bestCost = p, c
+		}
+	}
+	return best, bestCost, nil
+}
+
+// SortDBCsBySize is a helper used by reports: returns DBC indices ordered
+// by descending occupancy.
+func SortDBCsBySize(p *Placement) []int {
+	idx := make([]int, len(p.DBC))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return len(p.DBC[idx[a]]) > len(p.DBC[idx[b]]) })
+	return idx
+}

@@ -1,0 +1,419 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func quickGA(seed int64) GAConfig {
+	return GAConfig{Mu: 20, Lambda: 20, Generations: 25, TournamentK: 4,
+		MutationRate: 0.5, MoveWeight: 10, TransposeWeight: 10, PermuteWeight: 3, Seed: seed}
+}
+
+func TestGAFindsOptimumOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		n := 3 + rng.Intn(5) // 3..7 variables
+		s := randSeq(rng, n, 10+rng.Intn(30))
+		q := 1 + rng.Intn(3)
+		ex, err := Exact(s, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := quickGA(int64(trial))
+		cfg.Mu, cfg.Lambda, cfg.Generations = 40, 40, 120
+		// Seed with the heuristics, as the paper's GA does.
+		for _, id := range HeuristicStrategies() {
+			sp, _, err := Place(id, s, q, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Seeds = append(cfg.Seeds, sp)
+		}
+		res, err := GA(s, q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost < ex.Cost {
+			t.Fatalf("trial %d: GA cost %d below exact optimum %d — cost model bug", trial, res.Cost, ex.Cost)
+		}
+		if res.Cost != ex.Cost {
+			t.Errorf("trial %d: GA cost %d != optimum %d (q=%d, n=%d)", trial, res.Cost, ex.Cost, q, n)
+		}
+		if err := res.Best.Validate(s, 0); err != nil {
+			t.Fatalf("trial %d: GA produced invalid placement: %v", trial, err)
+		}
+	}
+}
+
+func TestGABestNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randSeq(rng, 12, 120)
+	res, err := GA(s, 4, quickGA(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1] {
+			t.Fatalf("best cost worsened at generation %d: %v", i, res.History[i-1:i+1])
+		}
+	}
+	if res.Evaluations <= 0 {
+		t.Error("no evaluations recorded")
+	}
+}
+
+func TestGASeedsRespected(t *testing.T) {
+	s := trace.NewSequence(0, 1, 0, 1, 2, 2)
+	seed := &Placement{DBC: [][]int{{0, 1}, {2}}}
+	seedCost, _ := ShiftCost(s, seed)
+	cfg := quickGA(1)
+	cfg.Seeds = []*Placement{seed}
+	res, err := GA(s, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > seedCost {
+		t.Errorf("GA (%d) worse than its own seed (%d)", res.Cost, seedCost)
+	}
+	// Mismatched seed width must be rejected.
+	cfg.Seeds = []*Placement{NewEmpty(3)}
+	if _, err := GA(s, 2, cfg); err == nil {
+		t.Error("seed with wrong DBC count accepted")
+	}
+}
+
+func TestGAEmptySequence(t *testing.T) {
+	s := &trace.Sequence{}
+	res, err := GA(s, 2, quickGA(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 {
+		t.Errorf("empty sequence cost = %d", res.Cost)
+	}
+}
+
+func TestGAInvalidConfig(t *testing.T) {
+	s := trace.NewSequence(0, 1)
+	if _, err := GA(s, 0, quickGA(1)); err == nil {
+		t.Error("q=0 accepted")
+	}
+	bad := quickGA(1)
+	bad.Mu = 0
+	if _, err := GA(s, 2, bad); err == nil {
+		t.Error("Mu=0 accepted")
+	}
+}
+
+func TestGADeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := randSeq(rng, 10, 80)
+	r1, err := GA(s, 3, quickGA(123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := GA(s, 3, quickGA(123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cost != r2.Cost || !r1.Best.Equal(r2.Best) {
+		t.Error("GA not deterministic for a fixed seed")
+	}
+	r3, err := GA(s, 3, quickGA(124))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r3 // different seed may or may not differ; only determinism is required
+}
+
+// Property: crossover children are valid placements covering exactly the
+// parents' variable set.
+func TestCrossoverPreservesValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(10)
+		s := randSeq(rng, n, 20)
+		a := trace.Analyze(s)
+		vars := a.ByFirstUse()
+		q := 2 + rng.Intn(3)
+		p1 := randomPlacement(rng, vars, q, 0)
+		p2 := randomPlacement(rng, vars, q, 0)
+		c1, c2 := crossover(rng, p1, p2, vars, 0)
+		for i, c := range []*Placement{c1, c2} {
+			if err := c.Validate(s, 0); err != nil {
+				t.Fatalf("trial %d child %d invalid: %v", trial, i, err)
+			}
+			if c.NumPlaced() != len(vars) {
+				t.Fatalf("trial %d child %d places %d vars, want %d", trial, i, c.NumPlaced(), len(vars))
+			}
+		}
+		// Parents must be untouched.
+		if p1.NumPlaced() != len(vars) || p2.NumPlaced() != len(vars) {
+			t.Fatal("crossover mutated a parent")
+		}
+	}
+}
+
+// Property: every mutation operator preserves placement validity.
+func TestMutationsPreserveValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	cfg := quickGA(1)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(10)
+		s := randSeq(rng, n, 15)
+		a := trace.Analyze(s)
+		vars := a.ByFirstUse()
+		q := 1 + rng.Intn(4)
+		p := randomPlacement(rng, vars, q, 0)
+		mutate(rng, p, cfg)
+		if err := p.Validate(s, 0); err != nil {
+			t.Fatalf("trial %d: mutation broke placement: %v", trial, err)
+		}
+	}
+}
+
+// Property: mutateMove respects capacity limits.
+func TestMutateMoveRespectsCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		p := &Placement{DBC: [][]int{{0, 1}, {2, 3}}}
+		mutateMove(rng, p, 2)
+		for d, vars := range p.DBC {
+			if len(vars) > 2 {
+				t.Fatalf("trial %d: DBC %d overflowed capacity: %v", trial, d, p.DBC)
+			}
+		}
+	}
+}
+
+func TestRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := randSeq(rng, 8, 60)
+	p, c, err := RandomWalk(s, 2, RWConfig{Iterations: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(s, 0); err != nil {
+		t.Fatalf("invalid RW placement: %v", err)
+	}
+	got, _ := ShiftCost(s, p)
+	if got != c {
+		t.Errorf("reported cost %d != recomputed %d", c, got)
+	}
+	// More iterations never hurt (same seed prefix property does not hold
+	// exactly, but best-of-N is monotone in N for a fixed stream).
+	_, c2, err := RandomWalk(s, 2, RWConfig{Iterations: 2000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 > c {
+		t.Errorf("RW with more iterations got worse: %d > %d", c2, c)
+	}
+	if _, _, err := RandomWalk(s, 0, RWConfig{Iterations: 5}); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, _, err := RandomWalk(s, 2, RWConfig{}); err == nil {
+		t.Error("0 iterations accepted")
+	}
+}
+
+func TestExactMatchesBruteForceIntra(t *testing.T) {
+	// IntraExact against explicit permutation enumeration on tiny inputs.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4) // 2..5 vars
+		s := randSeq(rng, n, 10+rng.Intn(20))
+		a := trace.Analyze(s)
+		vars := a.ByFirstUse()
+		if len(vars) < 2 {
+			continue
+		}
+		order, cost, err := IntraExact(vars, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &Placement{DBC: [][]int{order}}
+		check, _ := ShiftCost(s, p)
+		if check != cost {
+			t.Fatalf("trial %d: IntraExact reports %d but layout costs %d", trial, cost, check)
+		}
+		best := bruteForceBest(s, vars)
+		if cost != best {
+			t.Fatalf("trial %d: IntraExact %d != brute force %d", trial, cost, best)
+		}
+	}
+}
+
+func bruteForceBest(s *trace.Sequence, vars []int) int64 {
+	best := int64(-1)
+	perm := append([]int(nil), vars...)
+	var walk func(k int)
+	walk = func(k int) {
+		if k == len(perm) {
+			p := &Placement{DBC: [][]int{perm}}
+			c, _ := ShiftCost(s, p)
+			if best < 0 || c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			walk(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	walk(0)
+	return best
+}
+
+func TestExactGuards(t *testing.T) {
+	s := randSeq(rand.New(rand.NewSource(1)), 20, 40)
+	if _, err := Exact(s, 2, 0); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	if _, err := Exact(s, 0, 0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	empty := &trace.Sequence{}
+	res, err := Exact(empty, 2, 0)
+	if err != nil || res.Cost != 0 {
+		t.Errorf("empty sequence: res=%+v err=%v", res, err)
+	}
+}
+
+func TestExactCapacity(t *testing.T) {
+	// 4 variables, q=2, capacity 2: both DBCs must hold exactly 2.
+	s := trace.NewSequence(0, 1, 2, 3, 0, 1, 2, 3)
+	res, err := Exact(s, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Placement.Validate(s, 2); err != nil {
+		t.Fatalf("capacity violated: %v", err)
+	}
+	// Infeasible: 4 variables into 1 DBC of capacity 2.
+	if _, err := Exact(s, 1, 2); err == nil {
+		t.Error("infeasible instance accepted")
+	}
+}
+
+// Heuristics must never beat the exact optimum (sanity of the optimum),
+// and DMA must match it on perfectly phased traces.
+func TestHeuristicsVsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(5)
+		s := randSeq(rng, n, 12+rng.Intn(24))
+		q := 1 + rng.Intn(2)
+		ex, err := Exact(s, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range HeuristicStrategies() {
+			_, c, err := Place(id, s, q, Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if c < ex.Cost {
+				t.Fatalf("%s cost %d beats exact optimum %d — bug in Exact", id, c, ex.Cost)
+			}
+		}
+	}
+	// Perfectly phased: with unlimited capacity Algorithm 1 stores all l
+	// disjoint variables in one DBC in access order, which costs exactly
+	// l-1 shifts (here 3); the 2-DBC optimum can split the set and reach
+	// 2, so DMA must land in [optimum, l-1].
+	s := trace.NewSequence(0, 0, 0, 1, 1, 2, 2, 2, 3, 3)
+	ex, _ := Exact(s, 2, 0)
+	p, c, err := Place(StrategyDMAOFU, s, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < ex.Cost || c > 3 {
+		t.Errorf("DMA-OFU cost %d outside [optimum %d, l-1 = 3] on phased trace (placement %v)", c, ex.Cost, p)
+	}
+}
+
+func TestPlaceUnknownStrategy(t *testing.T) {
+	s := trace.NewSequence(0, 1)
+	if _, _, err := Place("nope", s, 2, Options{}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestCanonicalOrdering(t *testing.T) {
+	p := &Placement{DBC: [][]int{{}, {5, 2}, {1, 3}}}
+	c := p.Canonical()
+	if c.DBC[0][0] != 1 || c.DBC[1][0] != 5 {
+		t.Errorf("canonical = %v", c.DBC)
+	}
+	if len(c.DBC[2]) != 0 {
+		t.Error("empty DBC should sort last")
+	}
+}
+
+// Parallel fitness evaluation must be bit-identical to sequential for the
+// same seed (search decisions stay on one PRNG stream).
+func TestGAParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	s := randSeq(rng, 14, 150)
+	seq := quickGA(42)
+	par := quickGA(42)
+	par.Workers = 4
+	r1, err := GA(s, 4, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := GA(s, 4, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cost != r2.Cost || !r1.Best.Equal(r2.Best) {
+		t.Errorf("parallel GA diverged: %d vs %d", r1.Cost, r2.Cost)
+	}
+	if r1.Evaluations != r2.Evaluations {
+		t.Errorf("evaluation counts diverged: %d vs %d", r1.Evaluations, r2.Evaluations)
+	}
+}
+
+// Property: capacity-aware crossover never overflows a DBC when both
+// parents respect the capacity.
+func TestCrossoverRespectsCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(8)
+		s := randSeq(rng, n, 20)
+		a := trace.Analyze(s)
+		vars := a.ByFirstUse()
+		q := 2 + rng.Intn(3)
+		capacity := (len(vars)+q-1)/q + 1
+		p1 := randomPlacement(rng, vars, q, capacity)
+		p2 := randomPlacement(rng, vars, q, capacity)
+		c1, c2 := crossover(rng, p1, p2, vars, capacity)
+		for i, c := range []*Placement{c1, c2} {
+			if err := c.Validate(s, capacity); err != nil {
+				t.Fatalf("trial %d child %d: %v", trial, i, err)
+			}
+		}
+	}
+}
+
+// GA with a capacity limit produces capacity-respecting placements when
+// its seeds do.
+func TestGARespectsCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := randSeq(rng, 12, 100)
+	cfg := quickGA(3)
+	cfg.Capacity = 4
+	res, err := GA(s, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Validate(s, cfg.Capacity); err != nil {
+		t.Fatalf("GA violated capacity: %v", err)
+	}
+}

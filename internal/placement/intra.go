@@ -1,0 +1,259 @@
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// An IntraHeuristic reorders the variables of one DBC to reduce intra-DBC
+// shift cost. It receives the DBC's variable set (in inter-DBC assignment
+// order), the full access sequence and its analysis, and returns the new
+// offset order. Implementations must return a permutation of vars.
+type IntraHeuristic func(vars []int, s *trace.Sequence, a *trace.Analysis) []int
+
+// Identity keeps the inter-DBC assignment order. It reproduces the layout
+// arithmetic of the paper's Fig. 3 example.
+func Identity(vars []int, _ *trace.Sequence, _ *trace.Analysis) []int {
+	return append([]int(nil), vars...)
+}
+
+// OFU orders variables by their first use in the sequence — the paper's
+// baseline intra-DBC placement ("order of first use").
+func OFU(vars []int, _ *trace.Sequence, a *trace.Analysis) []int {
+	out := append([]int(nil), vars...)
+	sort.SliceStable(out, func(i, j int) bool {
+		fi, fj := a.First[out[i]], a.First[out[j]]
+		if fi == 0 {
+			fi = 1 << 30 // never accessed: last
+		}
+		if fj == 0 {
+			fj = 1 << 30
+		}
+		return fi < fj
+	})
+	return out
+}
+
+// Chen implements the single-DBC placement heuristic of Chen et al.
+// (TVLSI 2016), which descends from the classic single-offset-assignment
+// greedy of Liao: consider access-graph edges in descending weight and
+// accept an edge when both endpoints still have spare degree (< 2) and no
+// cycle forms, producing a set of paths; concatenate the paths (heaviest
+// first) and append isolated variables by descending frequency. Heavily
+// communicating variables thus end up at adjacent offsets.
+//
+// The access graph is built from the DBC-restricted subsequence: after the
+// inter-DBC split, each DBC only observes its own accesses, so edge
+// weights must count pairs consecutive within the restriction.
+func Chen(vars []int, s *trace.Sequence, a *trace.Analysis) []int {
+	if len(vars) <= 2 {
+		return OFU(vars, s, a)
+	}
+	member := membership(vars, s.NumVars())
+	g := trace.BuildSubgraph(s, func(v int) bool { return member[v] })
+
+	// Greedy path cover over the edges incident to vars.
+	degree := make(map[int]int, len(vars))
+	next := make(map[int][]int, len(vars)) // adjacency in the chosen path set
+	parent := make(map[int]int, len(vars)) // union-find
+	var find func(x int) int
+	find = func(x int) int {
+		r, ok := parent[x]
+		if !ok || r == x {
+			return x
+		}
+		root := find(r)
+		parent[x] = root
+		return root
+	}
+	for _, e := range g.Edges() {
+		if !member[e.U] || !member[e.V] {
+			continue
+		}
+		if degree[e.U] >= 2 || degree[e.V] >= 2 {
+			continue
+		}
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			continue // would close a cycle
+		}
+		parent[ru] = rv
+		degree[e.U]++
+		degree[e.V]++
+		next[e.U] = append(next[e.U], e.V)
+		next[e.V] = append(next[e.V], e.U)
+	}
+
+	// Walk each path from an endpoint (degree <= 1). Paths are emitted
+	// heaviest-first so hot clusters occupy contiguous low offsets;
+	// deterministic order via sorted endpoints.
+	visited := make(map[int]bool, len(vars))
+	type path struct {
+		nodes  []int
+		weight int
+	}
+	var paths []path
+	endpoints := make([]int, 0, len(vars))
+	for _, v := range vars {
+		if degree[v] <= 1 && len(next[v]) > 0 {
+			endpoints = append(endpoints, v)
+		}
+	}
+	sort.Ints(endpoints)
+	for _, start := range endpoints {
+		if visited[start] {
+			continue
+		}
+		p := path{}
+		cur, prev := start, -1
+		for {
+			visited[cur] = true
+			p.nodes = append(p.nodes, cur)
+			advanced := false
+			for _, n := range next[cur] {
+				if n != prev && !visited[n] {
+					p.weight += g.Weight(cur, n)
+					prev, cur = cur, n
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				break
+			}
+		}
+		paths = append(paths, p)
+	}
+	sort.SliceStable(paths, func(i, j int) bool { return paths[i].weight > paths[j].weight })
+
+	out := make([]int, 0, len(vars))
+	for _, p := range paths {
+		out = append(out, p.nodes...)
+	}
+	// Isolated variables (no accepted edges): descending frequency.
+	var isolated []int
+	for _, v := range vars {
+		if !visited[v] {
+			isolated = append(isolated, v)
+		}
+	}
+	sortByFreqDesc(a, isolated)
+	out = append(out, isolated...)
+	return out
+}
+
+// ShiftsReduce implements the intra-DBC heuristic of Khan et al.
+// ("ShiftsReduce: Minimizing Shifts in Racetrack Memory 4.0"): the most
+// connected variable seeds the layout, and remaining variables are added
+// one at a time — always the unplaced variable with the largest total edge
+// weight to the placed set — to whichever end of the current arrangement
+// minimizes its distance-weighted communication with the already placed
+// variables. Hot variables therefore gravitate toward the centre of the
+// DBC, reducing the average travel.
+func ShiftsReduce(vars []int, s *trace.Sequence, a *trace.Analysis) []int {
+	if len(vars) <= 2 {
+		return OFU(vars, s, a)
+	}
+	member := membership(vars, s.NumVars())
+	g := trace.BuildSubgraph(s, func(v int) bool { return member[v] })
+
+	// Seed: maximum weighted degree; ties by frequency then index for
+	// determinism.
+	best := -1
+	for _, v := range vars {
+		if best == -1 {
+			best = v
+			continue
+		}
+		dv, db := g.Degree(v), g.Degree(best)
+		if dv > db || (dv == db && (a.Freq[v] > a.Freq[best] ||
+			(a.Freq[v] == a.Freq[best] && v < best))) {
+			best = v
+		}
+	}
+
+	// arrangement as a deque.
+	arr := []int{best}
+	placed := map[int]bool{best: true}
+	pos := map[int]int{best: 0} // logical position; left end may go negative
+	left, right := 0, 0
+
+	for len(arr) < len(vars) {
+		// Pick the unplaced variable with max attachment weight.
+		pick, pickW := -1, -1
+		for _, v := range vars {
+			if placed[v] {
+				continue
+			}
+			w := 0
+			for _, u := range g.Neighbors(v) {
+				if placed[u] {
+					w += g.Weight(u, v)
+				}
+			}
+			if w > pickW || (w == pickW && pick != -1 && a.Freq[v] > a.Freq[pick]) ||
+				(w == pickW && pick != -1 && a.Freq[v] == a.Freq[pick] && v < pick) || pick == -1 {
+				pick, pickW = v, w
+			}
+		}
+		// Cost of placing at the left vs right end: distance-weighted
+		// attachment to the placed set.
+		costAt := func(p int) int {
+			c := 0
+			for _, u := range g.Neighbors(pick) {
+				if placed[u] {
+					d := pos[u] - p
+					if d < 0 {
+						d = -d
+					}
+					c += d * g.Weight(u, pick)
+				}
+			}
+			return c
+		}
+		lc, rc := costAt(left-1), costAt(right+1)
+		if lc < rc {
+			left--
+			pos[pick] = left
+			arr = append([]int{pick}, arr...)
+		} else {
+			right++
+			pos[pick] = right
+			arr = append(arr, pick)
+		}
+		placed[pick] = true
+	}
+	return arr
+}
+
+// membership builds a dense membership mask for a variable subset.
+func membership(vars []int, numVars int) []bool {
+	m := make([]bool, numVars)
+	for _, v := range vars {
+		if v >= 0 && v < numVars {
+			m[v] = true
+		}
+	}
+	return m
+}
+
+// ApplyIntra runs an intra-DBC heuristic on DBCs [from, to) of the
+// placement, returning a new placement. Used to pair DMA with Chen or
+// ShiftsReduce on the non-disjoint DBCs only (Algorithm 1 lines 22-23) and
+// with AFD on all DBCs.
+func ApplyIntra(p *Placement, from, to int, h IntraHeuristic, s *trace.Sequence, a *trace.Analysis) *Placement {
+	out := p.Clone()
+	if from < 0 {
+		from = 0
+	}
+	if to > len(out.DBC) {
+		to = len(out.DBC)
+	}
+	for d := from; d < to; d++ {
+		if len(out.DBC[d]) > 1 {
+			out.DBC[d] = h(out.DBC[d], s, a)
+		}
+	}
+	return out
+}

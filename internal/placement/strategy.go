@@ -1,0 +1,136 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// StrategyID names one of the six placement strategies evaluated in the
+// paper (section IV-A).
+type StrategyID string
+
+// The evaluated strategies.
+const (
+	// StrategyAFDOFU is the state-of-the-art baseline: AFD inter-DBC
+	// distribution with order-of-first-use intra-DBC placement.
+	StrategyAFDOFU StrategyID = "AFD-OFU"
+	// StrategyDMAOFU is the paper's heuristic with OFU intra placement.
+	StrategyDMAOFU StrategyID = "DMA-OFU"
+	// StrategyDMAChen pairs the paper's heuristic with Chen's single-DBC
+	// intra heuristic on the non-disjoint DBCs.
+	StrategyDMAChen StrategyID = "DMA-Chen"
+	// StrategyDMASR pairs the paper's heuristic with ShiftsReduce on the
+	// non-disjoint DBCs.
+	StrategyDMASR StrategyID = "DMA-SR"
+	// StrategyGA is the paper's genetic algorithm.
+	StrategyGA StrategyID = "GA"
+	// StrategyRW is the random-walk search.
+	StrategyRW StrategyID = "RW"
+)
+
+// AllStrategies lists the six strategies in the paper's presentation order.
+func AllStrategies() []StrategyID {
+	return []StrategyID{StrategyAFDOFU, StrategyDMAOFU, StrategyDMAChen, StrategyDMASR, StrategyGA, StrategyRW}
+}
+
+// HeuristicStrategies lists the fast (non-search) strategies.
+func HeuristicStrategies() []StrategyID {
+	return []StrategyID{StrategyAFDOFU, StrategyDMAOFU, StrategyDMAChen, StrategyDMASR}
+}
+
+// Options tunes strategy execution.
+type Options struct {
+	// Capacity is the word capacity per DBC; 0 disables capacity limits
+	// (the paper's evaluation does not enforce them).
+	Capacity int
+	// GA configures the genetic algorithm; zero value means
+	// DefaultGAConfig with SeedHeuristics.
+	GA GAConfig
+	// RW configures the random walk; zero value means DefaultRWConfig.
+	RW RWConfig
+	// SeedGAWithHeuristics injects AFD/DMA placements into the GA's
+	// initial population, as the paper describes. Enabled by default
+	// through Place; disable for cold-start ablations.
+	DisableGASeeding bool
+}
+
+// Place runs the named strategy on the sequence with q DBCs and returns
+// the resulting placement and its shift cost.
+func Place(id StrategyID, s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
+	a := trace.Analyze(s)
+	switch id {
+	case StrategyAFDOFU:
+		p, err := AFD(a, q)
+		if err != nil {
+			return nil, 0, err
+		}
+		p = ApplyIntra(p, 0, q, OFU, s, a)
+		c, err := ShiftCost(s, p)
+		return p, c, err
+
+	case StrategyDMAOFU, StrategyDMAChen, StrategyDMASR:
+		r, err := DMA(a, q, opts.Capacity)
+		if err != nil {
+			return nil, 0, err
+		}
+		var h IntraHeuristic
+		switch id {
+		case StrategyDMAOFU:
+			h = OFU
+		case StrategyDMAChen:
+			h = Chen
+		default:
+			h = ShiftsReduce
+		}
+		// Algorithm 1 lines 22-23: intra-DBC optimization only on the
+		// non-disjoint DBCs; the disjoint DBCs keep access order.
+		p := ApplyIntra(r.Placement, r.DisjointDBCs, q, h, s, a)
+		c, err := ShiftCost(s, p)
+		return p, c, err
+
+	case StrategyGA:
+		cfg := opts.GA
+		if cfg.Mu == 0 {
+			cfg = DefaultGAConfig()
+		}
+		cfg.Capacity = opts.Capacity
+		if len(cfg.Seeds) == 0 && !opts.DisableGASeeding {
+			seeds, err := heuristicSeeds(s, q, opts)
+			if err != nil {
+				return nil, 0, err
+			}
+			cfg.Seeds = seeds
+		}
+		res, err := GA(s, q, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.Best, res.Cost, nil
+
+	case StrategyRW:
+		cfg := opts.RW
+		if cfg.Iterations == 0 {
+			cfg = DefaultRWConfig()
+		}
+		cfg.Capacity = opts.Capacity
+		p, c, err := RandomWalk(s, q, cfg)
+		return p, c, err
+
+	default:
+		return nil, 0, fmt.Errorf("placement: unknown strategy %q", id)
+	}
+}
+
+// heuristicSeeds produces the heuristic placements used to seed the GA.
+func heuristicSeeds(s *trace.Sequence, q int, opts Options) ([]*Placement, error) {
+	var seeds []*Placement
+	for _, id := range HeuristicStrategies() {
+		p, _, err := Place(id, s, q, Options{Capacity: opts.Capacity})
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, p)
+	}
+	return seeds, nil
+}

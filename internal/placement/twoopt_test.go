@@ -1,0 +1,112 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func intraCost(t testing.TB, order []int, s *trace.Sequence) int64 {
+	t.Helper()
+	p := &Placement{DBC: [][]int{order}}
+	// Restrict to the ordered variables only: unplaced variables would
+	// fail validation, so test sequences place everything.
+	c, err := ShiftCost(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TwoOpt never worsens any starting order, and always returns a
+// permutation.
+func TestTwoOptNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(8)
+		s := randSeq(rng, n, 20+rng.Intn(60))
+		a := trace.Analyze(s)
+		vars := a.ByFirstUse()
+		if len(vars) < 3 {
+			continue
+		}
+		before := intraCost(t, vars, s)
+		improved := TwoOpt(vars, s, a)
+		after := intraCost(t, improved, s)
+		if after > before {
+			t.Fatalf("trial %d: TwoOpt worsened %d -> %d", trial, before, after)
+		}
+		seen := map[int]bool{}
+		for _, v := range improved {
+			if seen[v] {
+				t.Fatalf("duplicate %d in %v", v, improved)
+			}
+			seen[v] = true
+		}
+		if len(improved) != len(vars) {
+			t.Fatalf("length changed: %d -> %d", len(vars), len(improved))
+		}
+	}
+}
+
+// On small instances TwoOpt from an OFU start must reach the exact
+// optimum most of the time; verify it never beats the optimum and reaches
+// it from at least half the trials (local search may stick occasionally).
+func TestTwoOptNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	reached := 0
+	trials := 0
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(4) // 3..6 vars
+		s := randSeq(rng, n, 15+rng.Intn(30))
+		a := trace.Analyze(s)
+		vars := a.ByFirstUse()
+		if len(vars) < 3 {
+			continue
+		}
+		trials++
+		improved := TwoOpt(OFU(vars, s, a), s, a)
+		got := intraCost(t, improved, s)
+		_, opt, err := IntraExact(vars, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < opt {
+			t.Fatalf("TwoOpt (%d) beat the exact optimum (%d) — cost bug", got, opt)
+		}
+		if got == opt {
+			reached++
+		}
+	}
+	if trials > 0 && reached*2 < trials {
+		t.Errorf("TwoOpt reached the optimum in only %d/%d trials", reached, trials)
+	}
+}
+
+func TestTwoOptImprovesBadOrder(t *testing.T) {
+	// Adversarial start: heavy pair placed at opposite ends.
+	s := trace.NewSequence(0, 1, 0, 1, 0, 1, 0, 1, 2, 3, 4)
+	a := trace.Analyze(s)
+	bad := []int{0, 2, 3, 4, 1}
+	before := intraCost(t, bad, s)
+	improved := TwoOpt(bad, s, a)
+	after := intraCost(t, improved, s)
+	if after >= before {
+		t.Errorf("TwoOpt did not improve adversarial order: %d -> %d", before, after)
+	}
+}
+
+func TestTwoOptTinyInputs(t *testing.T) {
+	s := trace.NewSequence(0, 1)
+	a := trace.Analyze(s)
+	if got := TwoOpt([]int{0}, s, a); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single var: %v", got)
+	}
+	if got := TwoOpt([]int{0, 1}, s, a); len(got) != 2 {
+		t.Errorf("two vars: %v", got)
+	}
+	if got := TwoOpt(nil, s, a); len(got) != 0 {
+		t.Errorf("empty: %v", got)
+	}
+}

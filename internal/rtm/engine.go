@@ -1,0 +1,227 @@
+package rtm
+
+import "fmt"
+
+// ShiftEngine models the shift controller of one DBC. The engine tracks the
+// current shift offset of the (lock-stepped) tracks and, for each requested
+// word location, computes how many single-domain shift operations are
+// needed to align that location with an access port.
+//
+// Physical model: a track has Domains word locations at logical positions
+// 0..Domains-1 and Ports access ports at fixed physical positions. When the
+// track has been shifted by s domains, location x sits over port p when
+// x - s == p. Accessing x through port p therefore requires the shift
+// offset to become x - p; the controller picks the port minimizing the
+// distance from the current offset. With one port at position 0, the cost
+// of accessing x after y is exactly |x - y| — the cost model of the paper.
+//
+// The first access of a cold engine is free by default, matching the
+// paper's arithmetic in Fig. 3 (the port is considered pre-aligned to the
+// first accessed location). Set ChargeColdStart to charge it from offset 0.
+type ShiftEngine struct {
+	domains int
+	ports   []int
+	offset  int
+	warm    bool
+	// ChargeColdStart charges the first access as a move from shift
+	// offset 0 instead of treating it as free.
+	ChargeColdStart bool
+
+	shifts   int64
+	accesses int64
+}
+
+// NewShiftEngine creates a shift engine for a DBC with the given number of
+// word locations and evenly spaced ports. ports must be in [1, domains].
+func NewShiftEngine(domains, ports int) (*ShiftEngine, error) {
+	if domains <= 0 {
+		return nil, fmt.Errorf("rtm: domains must be positive, got %d", domains)
+	}
+	if ports <= 0 || ports > domains {
+		return nil, fmt.Errorf("rtm: ports must be in [1,%d], got %d", domains, ports)
+	}
+	e := &ShiftEngine{domains: domains}
+	// Evenly spread ports: port j sits at floor(j*domains/ports), so a
+	// single port sits at position 0.
+	for j := 0; j < ports; j++ {
+		e.ports = append(e.ports, j*domains/ports)
+	}
+	return e, nil
+}
+
+// NewShiftEngineForGeometry builds a per-DBC engine from a geometry.
+func NewShiftEngineForGeometry(g Geometry) (*ShiftEngine, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return NewShiftEngine(g.DomainsPerTrack, g.PortsPerTrack)
+}
+
+// Domains returns the number of word locations the engine serves.
+func (e *ShiftEngine) Domains() int { return e.domains }
+
+// Ports returns a copy of the port positions.
+func (e *ShiftEngine) Ports() []int { return append([]int(nil), e.ports...) }
+
+// Offset returns the current shift offset of the track.
+func (e *ShiftEngine) Offset() int { return e.offset }
+
+// CostOf returns the number of shifts that accessing location x would take
+// from the current state, without performing the access.
+func (e *ShiftEngine) CostOf(x int) (int, error) {
+	if x < 0 || x >= e.domains {
+		return 0, fmt.Errorf("rtm: location %d out of range [0,%d)", x, e.domains)
+	}
+	if !e.warm && !e.ChargeColdStart {
+		return 0, nil
+	}
+	best := -1
+	for _, p := range e.ports {
+		need := x - p
+		d := need - e.offset
+		if d < 0 {
+			d = -d
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// Access aligns location x with the nearest port, returning the number of
+// shift operations issued.
+func (e *ShiftEngine) Access(x int) (int, error) {
+	if x < 0 || x >= e.domains {
+		return 0, fmt.Errorf("rtm: location %d out of range [0,%d)", x, e.domains)
+	}
+	if !e.warm {
+		e.warm = true
+		if !e.ChargeColdStart {
+			// Pre-align the cheapest port to x for free.
+			e.offset = x - e.nearestPort(x)
+			e.accesses++
+			return 0, nil
+		}
+	}
+	bestCost := -1
+	bestOffset := 0
+	for _, p := range e.ports {
+		need := x - p
+		d := need - e.offset
+		if d < 0 {
+			d = -d
+		}
+		if bestCost < 0 || d < bestCost {
+			bestCost = d
+			bestOffset = need
+		}
+	}
+	e.offset = bestOffset
+	e.shifts += int64(bestCost)
+	e.accesses++
+	return bestCost, nil
+}
+
+func (e *ShiftEngine) nearestPort(x int) int {
+	best := e.ports[0]
+	bestD := abs(x - best)
+	for _, p := range e.ports[1:] {
+		if d := abs(x - p); d < bestD {
+			bestD = d
+			best = p
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Shifts returns the total number of shift operations issued so far.
+func (e *ShiftEngine) Shifts() int64 { return e.shifts }
+
+// Accesses returns the total number of accesses served so far.
+func (e *ShiftEngine) Accesses() int64 { return e.accesses }
+
+// Reset returns the engine to the cold state with zero counters.
+func (e *ShiftEngine) Reset() {
+	e.offset = 0
+	e.warm = false
+	e.shifts = 0
+	e.accesses = 0
+}
+
+// Controller aggregates one shift engine per DBC and routes accesses by
+// (dbc, offset) pairs, accumulating per-DBC and total statistics. It is the
+// minimal RTSim-like controller needed for placement studies.
+type Controller struct {
+	engines []*ShiftEngine
+}
+
+// NewController builds a controller for the geometry, one engine per DBC.
+func NewController(g Geometry) (*Controller, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{}
+	for i := 0; i < g.DBCs(); i++ {
+		e, err := NewShiftEngine(g.DomainsPerTrack, g.PortsPerTrack)
+		if err != nil {
+			return nil, err
+		}
+		c.engines = append(c.engines, e)
+	}
+	return c, nil
+}
+
+// NumDBCs returns the number of DBCs the controller manages.
+func (c *Controller) NumDBCs() int { return len(c.engines) }
+
+// Engine exposes the shift engine of one DBC (for configuration such as
+// ChargeColdStart).
+func (c *Controller) Engine(dbc int) (*ShiftEngine, error) {
+	if dbc < 0 || dbc >= len(c.engines) {
+		return nil, fmt.Errorf("rtm: DBC %d out of range [0,%d)", dbc, len(c.engines))
+	}
+	return c.engines[dbc], nil
+}
+
+// Access serves an access to the given word offset of the given DBC and
+// returns the shifts issued.
+func (c *Controller) Access(dbc, offset int) (int, error) {
+	e, err := c.Engine(dbc)
+	if err != nil {
+		return 0, err
+	}
+	return e.Access(offset)
+}
+
+// TotalShifts sums shift counts over all DBCs.
+func (c *Controller) TotalShifts() int64 {
+	var t int64
+	for _, e := range c.engines {
+		t += e.Shifts()
+	}
+	return t
+}
+
+// TotalAccesses sums access counts over all DBCs.
+func (c *Controller) TotalAccesses() int64 {
+	var t int64
+	for _, e := range c.engines {
+		t += e.Accesses()
+	}
+	return t
+}
+
+// Reset cold-starts every DBC engine.
+func (c *Controller) Reset() {
+	for _, e := range c.engines {
+		e.Reset()
+	}
+}

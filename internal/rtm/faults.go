@@ -1,0 +1,95 @@
+package rtm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Shift-fault modeling: real racetrack shifts occasionally overshoot or
+// undershoot by one domain (position errors — the reliability concern a
+// production RTM controller must handle). FaultyEngine wraps a
+// ShiftEngine with a per-shift error probability and a detect-and-correct
+// controller: after every burst of shifts the position sensor is read
+// and any residual misalignment is fixed with corrective shifts, which
+// cost extra operations but preserve correctness. Fault injection is
+// deterministic in the seed, so experiments are reproducible.
+type FaultyEngine struct {
+	engine *ShiftEngine
+	// ErrorRate is the per-shift probability of a one-domain position
+	// error.
+	errorRate float64
+	rng       *rand.Rand
+
+	faults     int64
+	corrective int64
+}
+
+// NewFaultyEngine wraps a fresh engine with the fault model.
+func NewFaultyEngine(domains, ports int, errorRate float64, seed int64) (*FaultyEngine, error) {
+	if errorRate < 0 || errorRate >= 1 {
+		return nil, fmt.Errorf("rtm: error rate must be in [0,1), got %v", errorRate)
+	}
+	e, err := NewShiftEngine(domains, ports)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultyEngine{
+		engine:    e,
+		errorRate: errorRate,
+		rng:       rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Access aligns location x, injecting position errors and issuing
+// corrective shifts as needed. It returns the total number of physical
+// shift operations performed (nominal + slip replays + corrections).
+func (f *FaultyEngine) Access(x int) (int, error) {
+	nominal, err := f.engine.Access(x)
+	if err != nil {
+		return 0, err
+	}
+	if f.errorRate == 0 || nominal == 0 {
+		return nominal, nil
+	}
+	// Each nominal shift may slip by one domain. The controller's
+	// position sensor reads the offset after the burst; the residual
+	// error magnitude is the net slip, each unit of which takes one
+	// corrective shift (which may itself slip again).
+	total := nominal
+	pending := nominal
+	for pending > 0 {
+		slips := 0
+		for i := 0; i < pending; i++ {
+			if f.rng.Float64() < f.errorRate {
+				slips++
+			}
+		}
+		f.faults += int64(slips)
+		if slips == 0 {
+			break
+		}
+		// Corrective burst: one shift per slipped domain.
+		f.corrective += int64(slips)
+		total += slips
+		pending = slips
+	}
+	return total, nil
+}
+
+// Faults returns the number of injected position errors so far.
+func (f *FaultyEngine) Faults() int64 { return f.faults }
+
+// CorrectiveShifts returns the extra shifts spent on re-alignment.
+func (f *FaultyEngine) CorrectiveShifts() int64 { return f.corrective }
+
+// NominalShifts returns the fault-free shift count (the cost model's
+// number).
+func (f *FaultyEngine) NominalShifts() int64 { return f.engine.Shifts() }
+
+// Reset cold-starts the engine and clears fault counters (the fault RNG
+// stream continues, so distinct phases see distinct errors).
+func (f *FaultyEngine) Reset() {
+	f.engine.Reset()
+	f.faults = 0
+	f.corrective = 0
+}

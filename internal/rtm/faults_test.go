@@ -1,0 +1,101 @@
+package rtm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFaultyEngineZeroRateMatchesIdeal(t *testing.T) {
+	ideal, _ := NewShiftEngine(64, 1)
+	faulty, err := NewFaultyEngine(64, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		x := rng.Intn(64)
+		a, _ := ideal.Access(x)
+		b, err := faulty.Access(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("access %d: faulty(0) cost %d != ideal %d", i, b, a)
+		}
+	}
+	if faulty.Faults() != 0 || faulty.CorrectiveShifts() != 0 {
+		t.Error("zero-rate engine recorded faults")
+	}
+}
+
+func TestFaultyEngineOverheadScalesWithRate(t *testing.T) {
+	run := func(rate float64) (physical, nominal int64) {
+		f, err := NewFaultyEngine(128, 1, rate, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 2000; i++ {
+			n, err := f.Access(rng.Intn(128))
+			if err != nil {
+				t.Fatal(err)
+			}
+			physical += int64(n)
+		}
+		return physical, f.NominalShifts()
+	}
+	p0, n0 := run(0)
+	if p0 != n0 {
+		t.Fatalf("zero rate: physical %d != nominal %d", p0, n0)
+	}
+	pLow, nLow := run(0.01)
+	pHigh, nHigh := run(0.10)
+	if nLow != n0 || nHigh != n0 {
+		t.Fatal("nominal counts must be rate-independent")
+	}
+	if pLow <= n0 {
+		t.Errorf("1%% rate produced no overhead: %d vs %d", pLow, n0)
+	}
+	if pHigh <= pLow {
+		t.Errorf("10%% rate (%d) not costlier than 1%% (%d)", pHigh, pLow)
+	}
+	// Overhead should stay near rate/(1-rate): ~11% for rate 0.10.
+	overhead := float64(pHigh-n0) / float64(n0)
+	if overhead > 0.2 {
+		t.Errorf("10%% rate overhead %.1f%% implausibly high", 100*overhead)
+	}
+}
+
+func TestFaultyEngineDeterministic(t *testing.T) {
+	run := func() int64 {
+		f, _ := NewFaultyEngine(64, 1, 0.05, 42)
+		rng := rand.New(rand.NewSource(9))
+		var total int64
+		for i := 0; i < 500; i++ {
+			n, _ := f.Access(rng.Intn(64))
+			total += int64(n)
+		}
+		return total
+	}
+	if run() != run() {
+		t.Error("fault injection not deterministic for a fixed seed")
+	}
+}
+
+func TestFaultyEngineValidation(t *testing.T) {
+	if _, err := NewFaultyEngine(64, 1, -0.1, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewFaultyEngine(64, 1, 1.0, 1); err == nil {
+		t.Error("rate 1.0 accepted (correction would never terminate)")
+	}
+	f, _ := NewFaultyEngine(8, 1, 0.1, 1)
+	if _, err := f.Access(9); err == nil {
+		t.Error("out-of-range access accepted")
+	}
+	f.Access(3)
+	f.Reset()
+	if f.NominalShifts() != 0 {
+		t.Error("Reset did not clear the engine")
+	}
+}

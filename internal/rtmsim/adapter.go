@@ -1,0 +1,65 @@
+package rtmsim
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+	"repro/internal/trace"
+)
+
+// RequestsFromPlacement converts an access sequence plus a placement into
+// a request stream for the simulator. Placement DBC i maps to linear DBC
+// i of the geometry (spread across banks by the geometry's layout), and
+// the variable's offset maps to its domain index.
+//
+// serialized selects the closed-loop CPU model: request i depends on
+// request i-1 (program order), which reproduces the analytic model's
+// serialized latency. With serialized=false all requests arrive at cycle
+// 0 and only bank conflicts order them — the open-loop bandwidth
+// experiment.
+func RequestsFromPlacement(s *Simulator, seq *trace.Sequence, p *placement.Placement, serialized bool) ([]Request, error) {
+	if p.NumDBCs() > s.geo.DBCs() {
+		return nil, fmt.Errorf("rtmsim: placement uses %d DBCs, device has %d", p.NumDBCs(), s.geo.DBCs())
+	}
+	if n := p.MaxDBCLen(); n > s.geo.DomainsPerTrack {
+		return nil, fmt.Errorf("rtmsim: DBC occupancy %d exceeds %d domains", n, s.geo.DomainsPerTrack)
+	}
+	lookup, err := p.BuildLookup(seq.NumVars())
+	if err != nil {
+		return nil, err
+	}
+	perBank := s.geo.SubarraysPerBank * s.geo.DBCsPerSubarray
+	reqs := make([]Request, 0, seq.Len())
+	for i, a := range seq.Accesses {
+		d := lookup.DBCOf[a.Var]
+		if d < 0 {
+			return nil, fmt.Errorf("rtmsim: access %d to unplaced variable %s", i, seq.Name(a.Var))
+		}
+		c := Coord{
+			Bank:     d / perBank,
+			Subarray: (d % perBank) / s.geo.DBCsPerSubarray,
+			DBC:      d % s.geo.DBCsPerSubarray,
+			Domain:   lookup.Offset[a.Var],
+		}
+		addr, err := s.amap.Encode(c)
+		if err != nil {
+			return nil, err
+		}
+		dep := -1
+		if serialized && i > 0 {
+			dep = i - 1
+		}
+		reqs = append(reqs, Request{Addr: addr, Write: a.Write, Arrival: 0, Dep: dep})
+	}
+	return reqs, nil
+}
+
+// RunPlacement is the one-call convenience: build the request stream and
+// simulate it.
+func RunPlacement(s *Simulator, seq *trace.Sequence, p *placement.Placement, serialized bool) (Stats, error) {
+	reqs, err := RequestsFromPlacement(s, seq, p, serialized)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.Run(reqs)
+}

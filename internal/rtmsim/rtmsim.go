@@ -1,0 +1,397 @@
+// Package rtmsim is a cycle-accurate racetrack-memory simulator in the
+// spirit of RTSim (Khan et al., IEEE CAL 2019), the simulator the paper's
+// evaluation runs on. Where internal/sim replays a trace analytically
+// (event counts x Table I costs), rtmsim models the device's timing
+// behaviour cycle by cycle:
+//
+//   - a memory controller with a FIFO request queue per bank;
+//   - banks that serve requests independently (bank-level parallelism);
+//   - per-DBC shift state machines: serving a request first issues the
+//     shift operations needed to align the target domain with a port
+//     (shiftCycles per single-domain shift), then the read or write;
+//   - an address decoder mapping linear word addresses onto
+//     bank/subarray/DBC/domain coordinates with a configurable
+//     interleaving policy.
+//
+// The analytic model remains the source of truth for the paper's figures
+// (identical event counts by construction — see TestSerializedMatchesAnalytic);
+// rtmsim exists to answer the timing questions the analytic model cannot:
+// queueing delay, bank conflicts, and the latency benefit of spreading
+// DBCs across banks.
+package rtmsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/energy"
+	"repro/internal/rtm"
+)
+
+// Timing holds the controller's cycle counts per operation.
+type Timing struct {
+	// ClockGHz is the controller clock used to convert Table I
+	// nanosecond latencies into cycles.
+	ClockGHz float64
+	// ReadCycles, WriteCycles are the port access times.
+	ReadCycles, WriteCycles int64
+	// ShiftCycles is the time of one single-domain shift.
+	ShiftCycles int64
+}
+
+// TimingFromParams converts Table I latencies into cycles at the given
+// clock, rounding up (a memory controller quantizes to cycles).
+func TimingFromParams(p energy.Params, clockGHz float64) (Timing, error) {
+	if clockGHz <= 0 {
+		return Timing{}, fmt.Errorf("rtmsim: clock must be positive, got %v", clockGHz)
+	}
+	toCycles := func(ns float64) int64 {
+		c := int64(math.Ceil(ns * clockGHz))
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	return Timing{
+		ClockGHz:    clockGHz,
+		ReadCycles:  toCycles(p.ReadLatencyNS),
+		WriteCycles: toCycles(p.WriteLatencyNS),
+		ShiftCycles: toCycles(p.ShiftLatencyNS),
+	}, nil
+}
+
+// Interleave selects how consecutive word addresses map onto the array.
+type Interleave int
+
+const (
+	// InterleaveDomain maps consecutive addresses to consecutive domains
+	// of the same DBC (row-major within a DBC): good spatial locality on
+	// a track, poor bank parallelism for streams.
+	InterleaveDomain Interleave = iota
+	// InterleaveDBC maps consecutive addresses to the same domain index
+	// of consecutive DBCs: streams spread over DBCs and banks.
+	InterleaveDBC
+)
+
+// Coord is a fully decoded physical location.
+type Coord struct {
+	Bank, Subarray, DBC, Domain int
+}
+
+// AddressMap decodes linear word addresses for a geometry.
+type AddressMap struct {
+	geo    rtm.Geometry
+	policy Interleave
+}
+
+// NewAddressMap builds a decoder. The geometry must validate.
+func NewAddressMap(g rtm.Geometry, policy Interleave) (*AddressMap, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &AddressMap{geo: g, policy: policy}, nil
+}
+
+// Words returns the number of word locations in the array.
+func (m *AddressMap) Words() int64 {
+	return int64(m.geo.DBCs()) * int64(m.geo.DomainsPerTrack)
+}
+
+// Decode maps a linear word address to coordinates.
+func (m *AddressMap) Decode(addr int64) (Coord, error) {
+	if addr < 0 || addr >= m.Words() {
+		return Coord{}, fmt.Errorf("rtmsim: address %d out of range [0,%d)", addr, m.Words())
+	}
+	var dbcLinear, domain int
+	switch m.policy {
+	case InterleaveDomain:
+		dbcLinear = int(addr / int64(m.geo.DomainsPerTrack))
+		domain = int(addr % int64(m.geo.DomainsPerTrack))
+	case InterleaveDBC:
+		dbcLinear = int(addr % int64(m.geo.DBCs()))
+		domain = int(addr / int64(m.geo.DBCs()))
+	default:
+		return Coord{}, fmt.Errorf("rtmsim: unknown interleave policy %d", m.policy)
+	}
+	perBank := m.geo.SubarraysPerBank * m.geo.DBCsPerSubarray
+	return Coord{
+		Bank:     dbcLinear / perBank,
+		Subarray: (dbcLinear % perBank) / m.geo.DBCsPerSubarray,
+		DBC:      dbcLinear % m.geo.DBCsPerSubarray,
+		Domain:   domain,
+	}, nil
+}
+
+// Encode maps coordinates back to a linear word address.
+func (m *AddressMap) Encode(c Coord) (int64, error) {
+	if c.Bank < 0 || c.Bank >= m.geo.Banks ||
+		c.Subarray < 0 || c.Subarray >= m.geo.SubarraysPerBank ||
+		c.DBC < 0 || c.DBC >= m.geo.DBCsPerSubarray ||
+		c.Domain < 0 || c.Domain >= m.geo.DomainsPerTrack {
+		return 0, fmt.Errorf("rtmsim: coordinates %+v out of range", c)
+	}
+	dbcLinear := (c.Bank*m.geo.SubarraysPerBank+c.Subarray)*m.geo.DBCsPerSubarray + c.DBC
+	switch m.policy {
+	case InterleaveDomain:
+		return int64(dbcLinear)*int64(m.geo.DomainsPerTrack) + int64(c.Domain), nil
+	case InterleaveDBC:
+		return int64(c.Domain)*int64(m.geo.DBCs()) + int64(dbcLinear), nil
+	}
+	return 0, fmt.Errorf("rtmsim: unknown interleave policy %d", m.policy)
+}
+
+// Request is one memory operation presented to the controller.
+type Request struct {
+	// Addr is the linear word address.
+	Addr int64
+	// Write marks stores.
+	Write bool
+	// Arrival is the cycle the request enters the controller queue.
+	Arrival int64
+	// Dep, when >= 0, is the index of a request that must complete before
+	// this one may issue (program-order dependency). The serialized
+	// closed-loop model sets Dep = i-1 for every request i.
+	Dep int
+}
+
+// Stats aggregates a simulation run.
+type Stats struct {
+	// Cycles is the completion time of the last request.
+	Cycles int64
+	// Shifts/Reads/Writes are event totals (identical to the analytic
+	// model's counts for the same request stream).
+	Counts energy.Counts
+	// QueueWaitCycles accumulates time spent waiting for the bank (or a
+	// dependency) after arrival.
+	QueueWaitCycles int64
+	// PreshiftHiddenCycles counts shift cycles overlapped with bank idle
+	// time by the proactive-alignment policy (zero unless Preshift).
+	PreshiftHiddenCycles int64
+	// BusyCycles per bank: cycles the bank spent shifting or accessing.
+	BusyCycles []int64
+	// PerBankRequests counts requests served by each bank.
+	PerBankRequests []int64
+	// MaxQueueDepth is the deepest any bank queue got.
+	MaxQueueDepth int
+}
+
+// Utilization returns the mean bank-busy fraction.
+func (s Stats) Utilization() float64 {
+	if s.Cycles == 0 || len(s.BusyCycles) == 0 {
+		return 0
+	}
+	var busy int64
+	for _, b := range s.BusyCycles {
+		busy += b
+	}
+	return float64(busy) / (float64(s.Cycles) * float64(len(s.BusyCycles)))
+}
+
+// Simulator is the cycle-accurate controller + device model.
+type Simulator struct {
+	geo    rtm.Geometry
+	timing Timing
+	amap   *AddressMap
+
+	// Preshift enables the proactive-alignment controller policy from the
+	// related-work line the paper cites ([1], [12], [20], [21]): while a
+	// bank sits idle before the next request starts (arrival gaps, cross-
+	// bank stalls), the controller already shifts the target DBC toward
+	// the upcoming access, hiding up to the idle gap's worth of shift
+	// cycles. Shift *counts* (and hence shift energy) are unchanged; only
+	// their latency is overlapped. The model is the oracle upper bound:
+	// the controller is assumed to know the next request for the bank.
+	Preshift bool
+
+	// Per-DBC shift offsets (linear DBC index), -1 = cold (first access
+	// aligns for free, matching the paper's cost model).
+	offset []int
+	ports  []int
+}
+
+// New builds a simulator for the geometry with Table I timing at the
+// given clock.
+func New(g rtm.Geometry, params energy.Params, clockGHz float64, policy Interleave) (*Simulator, error) {
+	t, err := TimingFromParams(params, clockGHz)
+	if err != nil {
+		return nil, err
+	}
+	amap, err := NewAddressMap(g, policy)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{geo: g, timing: t, amap: amap}
+	s.offset = make([]int, g.DBCs())
+	for i := range s.offset {
+		s.offset[i] = math.MinInt32 // cold
+	}
+	for j := 0; j < g.PortsPerTrack; j++ {
+		s.ports = append(s.ports, j*g.DomainsPerTrack/g.PortsPerTrack)
+	}
+	return s, nil
+}
+
+// AddressMap exposes the simulator's decoder.
+func (s *Simulator) AddressMap() *AddressMap { return s.amap }
+
+// shiftsFor computes the shifts needed to align `domain` in linear DBC d
+// and updates the DBC's offset.
+func (s *Simulator) shiftsFor(d, domain int) int64 {
+	if s.offset[d] == math.MinInt32 {
+		// Cold DBC: pre-aligned to the first access.
+		best := domain - s.ports[0]
+		bestD := abs64(int64(domain - s.ports[0]))
+		for _, p := range s.ports[1:] {
+			if dd := abs64(int64(domain - p)); dd < bestD {
+				bestD = dd
+				best = domain - p
+			}
+		}
+		s.offset[d] = best
+		return 0
+	}
+	bestCost := int64(-1)
+	bestOffset := 0
+	for _, p := range s.ports {
+		need := domain - p
+		c := abs64(int64(need - s.offset[d]))
+		if bestCost < 0 || c < bestCost {
+			bestCost = c
+			bestOffset = need
+		}
+	}
+	s.offset[d] = bestOffset
+	return bestCost
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ErrNoRequests is returned when Run is called with an empty stream.
+var ErrNoRequests = errors.New("rtmsim: empty request stream")
+
+// Run simulates a request stream to completion. Requests must be sorted
+// by Arrival; Dep must reference an earlier index or be negative. Each
+// bank serves its queue FCFS; banks run in parallel.
+func (s *Simulator) Run(reqs []Request) (Stats, error) {
+	if len(reqs) == 0 {
+		return Stats{}, ErrNoRequests
+	}
+	nBanks := s.geo.Banks
+	stats := Stats{
+		BusyCycles:      make([]int64, nBanks),
+		PerBankRequests: make([]int64, nBanks),
+	}
+	bankFree := make([]int64, nBanks)
+	done := make([]int64, len(reqs)) // completion cycle per request
+	queued := make([][]int, nBanks)  // request indices per bank, FCFS
+
+	coords := make([]Coord, len(reqs))
+	for i, r := range reqs {
+		c, err := s.amap.Decode(r.Addr)
+		if err != nil {
+			return Stats{}, fmt.Errorf("rtmsim: request %d: %w", i, err)
+		}
+		if r.Dep >= i {
+			return Stats{}, fmt.Errorf("rtmsim: request %d depends on later request %d", i, r.Dep)
+		}
+		if i > 0 && r.Arrival < reqs[i-1].Arrival {
+			return Stats{}, fmt.Errorf("rtmsim: request %d arrives before its predecessor", i)
+		}
+		coords[i] = c
+		queued[c.Bank] = append(queued[c.Bank], i)
+		if len(queued[c.Bank]) > stats.MaxQueueDepth {
+			stats.MaxQueueDepth = len(queued[c.Bank])
+		}
+	}
+
+	// Event loop: repeatedly pick the request that can start earliest
+	// among each bank's queue head. A request may start when (a) it has
+	// arrived, (b) its dependency completed, (c) its bank is free.
+	// Deadlock-freedom: dependencies point to strictly earlier indices
+	// and bank queues are FIFO in index order, so the globally smallest
+	// unserved index always sits at its bank's head with its dependency
+	// already served.
+	pos := make([]int, nBanks) // next unserved index into queued[b]
+	remaining := len(reqs)
+	for remaining > 0 {
+		// Find the bank whose head request has the smallest feasible
+		// start cycle. Linear scan over banks is fine (bank counts are
+		// small); the heap is kept for large configurations.
+		bestBank := -1
+		var bestStart int64
+		for b := 0; b < nBanks; b++ {
+			if pos[b] >= len(queued[b]) {
+				continue
+			}
+			i := queued[b][pos[b]]
+			start := reqs[i].Arrival
+			if reqs[i].Dep >= 0 && done[reqs[i].Dep] > start {
+				start = done[reqs[i].Dep]
+			}
+			if bankFree[b] > start {
+				start = bankFree[b]
+			}
+			if bestBank < 0 || start < bestStart {
+				bestBank, bestStart = b, start
+			}
+		}
+		if bestBank < 0 {
+			return Stats{}, errors.New("rtmsim: deadlock — no serviceable request")
+		}
+		b := bestBank
+		i := queued[b][pos[b]]
+		pos[b]++
+		remaining--
+
+		c := coords[i]
+		dbcLinear := (c.Bank*s.geo.SubarraysPerBank+c.Subarray)*s.geo.DBCsPerSubarray + c.DBC
+		shifts := s.shiftsFor(dbcLinear, c.Domain)
+		var access int64
+		if reqs[i].Write {
+			access = s.timing.WriteCycles
+			stats.Counts.Writes++
+		} else {
+			access = s.timing.ReadCycles
+			stats.Counts.Reads++
+		}
+		stats.Counts.Shifts += shifts
+		shiftCycles := shifts * s.timing.ShiftCycles
+		if s.Preshift {
+			// The bank was idle from bankFree[b] to bestStart; the
+			// controller spent that gap pre-aligning this request's DBC.
+			idle := bestStart - bankFree[b]
+			if idle > 0 {
+				hidden := shiftCycles
+				if idle < hidden {
+					hidden = idle
+				}
+				shiftCycles -= hidden
+				stats.PreshiftHiddenCycles += hidden
+			}
+		}
+		service := shiftCycles + access
+		stats.QueueWaitCycles += bestStart - reqs[i].Arrival
+		finish := bestStart + service
+		bankFree[b] = finish
+		done[i] = finish
+		stats.BusyCycles[b] += service
+		stats.PerBankRequests[b]++
+		if finish > stats.Cycles {
+			stats.Cycles = finish
+		}
+	}
+	return stats, nil
+}
+
+// Reset cold-starts all DBCs.
+func (s *Simulator) Reset() {
+	for i := range s.offset {
+		s.offset[i] = math.MinInt32
+	}
+}

@@ -1,0 +1,367 @@
+package rtmsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/energy"
+	"repro/internal/placement"
+	"repro/internal/rtm"
+	"repro/internal/trace"
+)
+
+func tableISim(t testing.TB, dbcs int, policy Interleave) *Simulator {
+	t.Helper()
+	g, err := rtm.TableIGeometry(dbcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := energy.ForDBCs(dbcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(g, p, 1.0, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTimingFromParams(t *testing.T) {
+	p, _ := energy.ForDBCs(4) // read 0.84, write 1.14, shift 0.92 ns
+	tm, err := TimingFromParams(p, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.ReadCycles != 1 || tm.WriteCycles != 2 || tm.ShiftCycles != 1 {
+		t.Errorf("1 GHz cycles = %+v, want read 1 / write 2 / shift 1", tm)
+	}
+	tm, _ = TimingFromParams(p, 4.0)
+	if tm.ReadCycles != 4 || tm.WriteCycles != 5 || tm.ShiftCycles != 4 {
+		t.Errorf("4 GHz cycles = %+v", tm)
+	}
+	if _, err := TimingFromParams(p, 0); err == nil {
+		t.Error("zero clock accepted")
+	}
+}
+
+func TestAddressMapRoundTrip(t *testing.T) {
+	g := rtm.Geometry{Banks: 2, SubarraysPerBank: 2, DBCsPerSubarray: 4,
+		TracksPerDBC: 32, DomainsPerTrack: 64, PortsPerTrack: 1}
+	for _, policy := range []Interleave{InterleaveDomain, InterleaveDBC} {
+		m, err := NewAddressMap(g, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Words() != 2*2*4*64 {
+			t.Fatalf("words = %d", m.Words())
+		}
+		for addr := int64(0); addr < m.Words(); addr += 7 {
+			c, err := m.Decode(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := m.Encode(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back != addr {
+				t.Fatalf("policy %d: %d -> %+v -> %d", policy, addr, c, back)
+			}
+		}
+		if _, err := m.Decode(-1); err == nil {
+			t.Error("negative address accepted")
+		}
+		if _, err := m.Decode(m.Words()); err == nil {
+			t.Error("out-of-range address accepted")
+		}
+	}
+}
+
+func TestInterleavePolicies(t *testing.T) {
+	g := rtm.Geometry{Banks: 2, SubarraysPerBank: 1, DBCsPerSubarray: 2,
+		TracksPerDBC: 32, DomainsPerTrack: 8, PortsPerTrack: 1}
+	dom, _ := NewAddressMap(g, InterleaveDomain)
+	dbc, _ := NewAddressMap(g, InterleaveDBC)
+	// Domain policy: addresses 0 and 1 share a DBC.
+	c0, _ := dom.Decode(0)
+	c1, _ := dom.Decode(1)
+	if c0.Bank != c1.Bank || c0.DBC != c1.DBC || c1.Domain != c0.Domain+1 {
+		t.Errorf("domain interleave: %+v then %+v", c0, c1)
+	}
+	// DBC policy: addresses 0 and 1 land in different DBCs.
+	c0, _ = dbc.Decode(0)
+	c1, _ = dbc.Decode(1)
+	if c0.Bank == c1.Bank && c0.DBC == c1.DBC {
+		t.Errorf("dbc interleave kept %+v and %+v together", c0, c1)
+	}
+}
+
+// The serialized closed-loop simulation must reproduce the analytic cost
+// model exactly: same shift counts, and total cycles equal to the sum of
+// per-event cycle costs.
+func TestSerializedMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		nv := 2 + rng.Intn(12)
+		vars := make([]int, 20+rng.Intn(80))
+		for i := range vars {
+			vars[i] = rng.Intn(nv)
+		}
+		seq := trace.NewSequence(vars...)
+		a := trace.Analyze(seq)
+		r, err := placement.DMA(a, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantShifts, err := placement.ShiftCost(seq, r.Placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		s := tableISim(t, 4, InterleaveDomain)
+		stats, err := RunPlacement(s, seq, r.Placement, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Counts.Shifts != wantShifts {
+			t.Fatalf("trial %d: cycle-accurate shifts %d != analytic %d",
+				trial, stats.Counts.Shifts, wantShifts)
+		}
+		tm, _ := TimingFromParams(mustParams(t, 4), 1.0)
+		want := stats.Counts.Reads*tm.ReadCycles +
+			stats.Counts.Writes*tm.WriteCycles +
+			stats.Counts.Shifts*tm.ShiftCycles
+		if stats.Cycles != want {
+			t.Fatalf("trial %d: serialized cycles %d != analytic %d", trial, stats.Cycles, want)
+		}
+	}
+}
+
+func mustParams(t testing.TB, dbcs int) energy.Params {
+	t.Helper()
+	p, err := energy.ForDBCs(dbcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Open-loop execution with multiple banks must finish no later than the
+// serialized run, and bank parallelism must actually help on a
+// bank-spread stream.
+func TestBankParallelismSpeedsUp(t *testing.T) {
+	g := rtm.Geometry{Banks: 4, SubarraysPerBank: 1, DBCsPerSubarray: 1,
+		TracksPerDBC: 32, DomainsPerTrack: 64, PortsPerTrack: 1}
+	params := mustParams(t, 4)
+	s, err := New(g, params, 1.0, InterleaveDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stream striding across the 4 banks with long shifts each time.
+	var reqs []Request
+	for i := 0; i < 64; i++ {
+		bank := i % 4
+		domain := (i * 13) % 64
+		addr, err := s.AddressMap().Encode(Coord{Bank: bank, Domain: domain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, Request{Addr: addr, Dep: -1})
+	}
+	open, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	ser := make([]Request, len(reqs))
+	copy(ser, reqs)
+	for i := range ser {
+		ser[i].Dep = i - 1
+	}
+	serial, err := s.Run(ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Cycles >= serial.Cycles {
+		t.Errorf("open-loop (%d cycles) not faster than serialized (%d)", open.Cycles, serial.Cycles)
+	}
+	if open.Counts.Shifts != serial.Counts.Shifts {
+		t.Errorf("shift counts diverge: %d vs %d", open.Counts.Shifts, serial.Counts.Shifts)
+	}
+	if u := open.Utilization(); u <= serial.Utilization() {
+		t.Errorf("open-loop utilization %.3f not above serialized %.3f", u, serial.Utilization())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := tableISim(t, 4, InterleaveDomain)
+	if _, err := s.Run(nil); err != ErrNoRequests {
+		t.Errorf("empty stream: %v", err)
+	}
+	if _, err := s.Run([]Request{{Addr: 1 << 40}}); err == nil {
+		t.Error("bad address accepted")
+	}
+	if _, err := s.Run([]Request{{Addr: 0, Dep: 0}}); err == nil {
+		t.Error("self-dependency accepted")
+	}
+	if _, err := s.Run([]Request{{Addr: 0, Arrival: 5}, {Addr: 0, Arrival: 1}}); err == nil {
+		t.Error("unsorted arrivals accepted")
+	}
+}
+
+func TestQueueWaitAccounting(t *testing.T) {
+	// Two same-bank requests arriving together: the second waits exactly
+	// the first one's service time.
+	g := rtm.Geometry{Banks: 1, SubarraysPerBank: 1, DBCsPerSubarray: 1,
+		TracksPerDBC: 32, DomainsPerTrack: 64, PortsPerTrack: 1}
+	s, err := New(g, mustParams(t, 4), 1.0, InterleaveDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{Addr: 0, Dep: -1},  // cold: free alignment, 1-cycle read
+		{Addr: 10, Dep: -1}, // 10 shifts + read
+	}
+	stats, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.QueueWaitCycles != 1 {
+		t.Errorf("queue wait = %d, want 1 (second waits for first's read)", stats.QueueWaitCycles)
+	}
+	if stats.Counts.Shifts != 10 {
+		t.Errorf("shifts = %d, want 10", stats.Counts.Shifts)
+	}
+	if stats.MaxQueueDepth != 2 {
+		t.Errorf("max queue depth = %d, want 2", stats.MaxQueueDepth)
+	}
+}
+
+// Preshift (oracle proactive alignment) hides shift latency behind
+// arrival gaps without changing shift counts.
+func TestPreshiftHidesShiftLatency(t *testing.T) {
+	g := rtm.Geometry{Banks: 1, SubarraysPerBank: 1, DBCsPerSubarray: 1,
+		TracksPerDBC: 32, DomainsPerTrack: 64, PortsPerTrack: 1}
+	mk := func(preshift bool) Stats {
+		s, err := New(g, mustParams(t, 4), 1.0, InterleaveDomain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Preshift = preshift
+		// Requests spaced 20 cycles apart, each needing 10 shifts: the
+		// idle gap fully hides the shifting.
+		reqs := []Request{
+			{Addr: 0, Arrival: 0, Dep: -1},
+			{Addr: 10, Arrival: 20, Dep: -1},
+			{Addr: 20, Arrival: 40, Dep: -1},
+		}
+		stats, err := s.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	base := mk(false)
+	pre := mk(true)
+	if pre.Counts.Shifts != base.Counts.Shifts {
+		t.Errorf("preshift changed shift counts: %d vs %d", pre.Counts.Shifts, base.Counts.Shifts)
+	}
+	if pre.Cycles >= base.Cycles {
+		t.Errorf("preshift did not reduce makespan: %d vs %d", pre.Cycles, base.Cycles)
+	}
+	if pre.PreshiftHiddenCycles == 0 {
+		t.Error("no cycles hidden")
+	}
+	if base.PreshiftHiddenCycles != 0 {
+		t.Error("hidden cycles without preshift")
+	}
+	// With full hiding, only the access cycles remain on the critical
+	// path after the last arrival.
+	if want := int64(40 + 1); pre.Cycles != want {
+		t.Errorf("preshift makespan = %d, want %d (last arrival + read)", pre.Cycles, want)
+	}
+}
+
+// Preshift can never hide on back-to-back single-bank streams (no idle
+// gaps exist).
+func TestPreshiftNoGapNoGain(t *testing.T) {
+	g := rtm.Geometry{Banks: 1, SubarraysPerBank: 1, DBCsPerSubarray: 1,
+		TracksPerDBC: 32, DomainsPerTrack: 64, PortsPerTrack: 1}
+	s, err := New(g, mustParams(t, 4), 1.0, InterleaveDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Preshift = true
+	reqs := []Request{
+		{Addr: 0, Dep: -1},
+		{Addr: 30, Dep: 0},
+		{Addr: 0, Dep: 1},
+	}
+	stats, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PreshiftHiddenCycles != 0 {
+		t.Errorf("hidden %d cycles with no idle gaps", stats.PreshiftHiddenCycles)
+	}
+}
+
+func TestAdapterErrors(t *testing.T) {
+	s := tableISim(t, 4, InterleaveDomain)
+	seq := trace.NewSequence(0, 1)
+	wide := placement.NewEmpty(9)
+	wide.DBC[0] = []int{0}
+	wide.DBC[8] = []int{1}
+	if _, err := RequestsFromPlacement(s, seq, wide, true); err == nil {
+		t.Error("oversized placement accepted")
+	}
+	missing := &placement.Placement{DBC: [][]int{{0}}}
+	if _, err := RequestsFromPlacement(s, seq, missing, true); err == nil {
+		t.Error("unplaced variable accepted")
+	}
+	tall := &placement.Placement{DBC: [][]int{make([]int, 300)}}
+	for i := range tall.DBC[0] {
+		tall.DBC[0][i] = i
+	}
+	if _, err := RequestsFromPlacement(s, trace.NewSequence(0), tall, true); err == nil {
+		t.Error("domain overflow accepted")
+	}
+}
+
+// Property: total busy cycles never exceed banks x makespan, shifts are
+// non-negative, and every request is served exactly once.
+func TestStatsInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := tableISim(t, 8, InterleaveDBC)
+		reqs := make([]Request, len(raw))
+		for i, r := range raw {
+			reqs[i] = Request{Addr: int64(r) % s.AddressMap().Words(), Write: r%3 == 0, Dep: -1}
+		}
+		stats, err := s.Run(reqs)
+		if err != nil {
+			return false
+		}
+		var served int64
+		for _, n := range stats.PerBankRequests {
+			served += n
+		}
+		if served != int64(len(reqs)) {
+			return false
+		}
+		var busy int64
+		for _, b := range stats.BusyCycles {
+			busy += b
+		}
+		return busy <= stats.Cycles*int64(len(stats.BusyCycles)) &&
+			stats.Counts.Shifts >= 0 &&
+			stats.Counts.Accesses() == int64(len(reqs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/placement"
+	"repro/internal/rtm"
+	"repro/internal/trace"
+)
+
+func cfg4(t *testing.T) Config {
+	t.Helper()
+	c, err := TableIConfig(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTableIConfig(t *testing.T) {
+	for _, dbcs := range rtm.TableIDBCCounts() {
+		c, err := TableIConfig(dbcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Geometry.DBCs() != dbcs || c.Params.DBCs != dbcs {
+			t.Errorf("config mismatch for %d DBCs: geo=%d params=%d",
+				dbcs, c.Geometry.DBCs(), c.Params.DBCs)
+		}
+	}
+	if _, err := TableIConfig(5); err == nil {
+		t.Error("TableIConfig(5) should fail")
+	}
+}
+
+func TestRunSequenceCountsMatchCostModel(t *testing.T) {
+	cfg := cfg4(t)
+	s, _ := trace.NewNamedSequence("a", "b", "a", "c!", "b")
+	p := &placement.Placement{DBC: [][]int{{0, 1}, {2}}}
+	r, err := RunSequence(cfg, s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShifts, err := placement.ShiftCost(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts.Shifts != wantShifts {
+		t.Errorf("shifts = %d, want %d", r.Counts.Shifts, wantShifts)
+	}
+	if r.Counts.Reads != 4 || r.Counts.Writes != 1 {
+		t.Errorf("reads/writes = %d/%d, want 4/1", r.Counts.Reads, r.Counts.Writes)
+	}
+	wantLat := cfg.Params.LatencyNS(r.Counts)
+	if math.Abs(r.LatencyNS-wantLat) > 1e-9 {
+		t.Errorf("latency = %v, want %v", r.LatencyNS, wantLat)
+	}
+	wantE := cfg.Params.Energy(r.Counts)
+	if math.Abs(r.Energy.TotalPJ()-wantE.TotalPJ()) > 1e-9 {
+		t.Errorf("energy = %v, want %v", r.Energy.TotalPJ(), wantE.TotalPJ())
+	}
+}
+
+func TestRunSequenceErrors(t *testing.T) {
+	cfg := cfg4(t)
+	s := trace.NewSequence(0, 1)
+	// Too many DBCs used.
+	wide := placement.NewEmpty(9)
+	wide.DBC[0] = []int{0}
+	wide.DBC[8] = []int{1}
+	if _, err := RunSequence(cfg, s, wide); err == nil {
+		t.Error("placement wider than device accepted")
+	}
+	// Unplaced variable.
+	missing := &placement.Placement{DBC: [][]int{{0}}}
+	if _, err := RunSequence(cfg, s, missing); err == nil {
+		t.Error("unplaced variable accepted")
+	}
+}
+
+func TestCapacityEnforcement(t *testing.T) {
+	cfg, _ := TableIConfig(16) // 64 domains per DBC
+	cfg.EnforceCapacity = true
+	vars := make([]int, 100)
+	for i := range vars {
+		vars[i] = i
+	}
+	s := trace.NewSequence(vars...)
+	p := &placement.Placement{DBC: [][]int{vars}}
+	if _, err := RunSequence(cfg, s, p); err == nil {
+		t.Error("overflowing placement accepted with EnforceCapacity")
+	}
+	cfg.EnforceCapacity = false
+	if _, err := RunSequence(cfg, s, p); err != nil {
+		t.Errorf("relaxed capacity should accept: %v", err)
+	}
+}
+
+func TestRunBenchmark(t *testing.T) {
+	cfg := cfg4(t)
+	b := &trace.Benchmark{Name: "t", Sequences: []*trace.Sequence{
+		trace.NewSequence(0, 1, 0, 1),
+		trace.NewSequence(0, 0, 1, 2),
+	}}
+	r, err := RunBenchmark(cfg, b, StrategyPlacer(placement.StrategyDMAOFU, placement.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sequences != 2 {
+		t.Errorf("sequences = %d, want 2", r.Sequences)
+	}
+	if r.Counts.Accesses() != 8 {
+		t.Errorf("accesses = %d, want 8", r.Counts.Accesses())
+	}
+	if r.LatencyNS <= 0 || r.Energy.TotalPJ() <= 0 {
+		t.Error("no latency/energy accumulated")
+	}
+}
+
+func TestResultAdd(t *testing.T) {
+	a := Result{Counts: energy.Counts{Reads: 1, Shifts: 2}, LatencyNS: 3, Sequences: 1}
+	a.Add(Result{Counts: energy.Counts{Reads: 2, Shifts: 5}, LatencyNS: 4, Sequences: 1})
+	if a.Counts.Reads != 3 || a.Counts.Shifts != 7 || a.LatencyNS != 7 || a.Sequences != 2 {
+		t.Errorf("Add gave %+v", a)
+	}
+}
+
+// Fewer shifts must never produce more energy or latency under the same
+// configuration — the monotonicity the paper's Fig. 5 argument rests on.
+func TestBetterPlacementNeverCostsMore(t *testing.T) {
+	cfg := cfg4(t)
+	s := trace.NewSequence(0, 1, 2, 3, 0, 1, 2, 3, 0, 1)
+	good := &placement.Placement{DBC: [][]int{{0, 1}, {2, 3}}}
+	bad := &placement.Placement{DBC: [][]int{{0, 2, 1, 3}, {}}}
+	rg, err := RunSequence(cfg, s, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunSequence(cfg, s, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.Counts.Shifts >= rb.Counts.Shifts {
+		t.Fatalf("test setup wrong: good %d shifts, bad %d", rg.Counts.Shifts, rb.Counts.Shifts)
+	}
+	if rg.LatencyNS > rb.LatencyNS {
+		t.Error("fewer shifts but higher latency")
+	}
+	if rg.Energy.TotalPJ() > rb.Energy.TotalPJ() {
+		t.Error("fewer shifts but higher energy")
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/placement"
+	"repro/internal/trace"
+)
+
+// Runtime data swapping — the dynamic technique of Sun et al. (DAC'13,
+// the paper's ref [20]) that the static-placement approach is positioned
+// against: instead of (or on top of) a good initial layout, the RTM
+// controller reorganizes data online, promoting a variable one offset
+// toward the access port each time it is used (the classic "transpose"
+// self-organizing-list rule). Each swap exchanges two adjacent words,
+// which costs extra shifts and two extra writes.
+//
+// RunSequenceSwapping replays a trace under this policy so static and
+// dynamic (and combined) approaches can be compared head to head; the
+// paper's claim is that compile-time placement achieves the benefit
+// without the runtime overhead, and TestSwapVsStatic exercises exactly
+// that comparison.
+
+// SwapConfig tunes the online policy.
+type SwapConfig struct {
+	// Enable turns swapping on; zero value replays statically.
+	Enable bool
+	// SwapShiftCost is the number of shift operations charged per swap
+	// (moving both words through the port buffer; default 2 when 0).
+	SwapShiftCost int
+	// MinGain only swaps when the accessed variable's use count exceeds
+	// the neighbour's by this margin, damping thrash (default 1 when 0).
+	MinGain int
+}
+
+// SwapResult extends Result with reorganization statistics.
+type SwapResult struct {
+	Result
+	Swaps int64
+}
+
+// RunSequenceSwapping replays one sequence with the transpose policy on
+// top of the given initial placement.
+func RunSequenceSwapping(cfg Config, s *trace.Sequence, p *placement.Placement, sw SwapConfig) (SwapResult, error) {
+	if !sw.Enable {
+		r, err := RunSequence(cfg, s, p)
+		return SwapResult{Result: r}, err
+	}
+	if sw.SwapShiftCost == 0 {
+		sw.SwapShiftCost = 2
+	}
+	if sw.MinGain == 0 {
+		sw.MinGain = 1
+	}
+	lookup, err := p.BuildLookup(s.NumVars())
+	if err != nil {
+		return SwapResult{}, err
+	}
+	// Mutable copies of the layout: order[d][off] = variable.
+	order := make([][]int, p.NumDBCs())
+	for d := range order {
+		order[d] = append([]int(nil), p.DBC[d]...)
+	}
+	dbcOf := append([]int(nil), lookup.DBCOf...)
+	offset := append([]int(nil), lookup.Offset...)
+	uses := make([]int64, s.NumVars())
+
+	last := make([]int, p.NumDBCs())
+	for i := range last {
+		last[i] = -1
+	}
+
+	var c energy.Counts
+	var swaps int64
+	for i, a := range s.Accesses {
+		d := dbcOf[a.Var]
+		if d < 0 {
+			return SwapResult{}, fmt.Errorf("sim: access %d to unplaced variable %s", i, s.Name(a.Var))
+		}
+		off := offset[a.Var]
+		if prev := last[d]; prev >= 0 {
+			delta := off - prev
+			if delta < 0 {
+				delta = -delta
+			}
+			c.Shifts += int64(delta)
+		}
+		if a.Write {
+			c.Writes++
+		} else {
+			c.Reads++
+		}
+		uses[a.Var]++
+
+		// Transpose rule: promote toward offset 0 (the port position)
+		// when this variable is now hotter than its port-side neighbour.
+		cur := off
+		if cur > 0 {
+			nb := order[d][cur-1]
+			if uses[a.Var] >= uses[nb]+int64(sw.MinGain) {
+				order[d][cur-1], order[d][cur] = order[d][cur], order[d][cur-1]
+				offset[a.Var] = cur - 1
+				offset[nb] = cur
+				c.Shifts += int64(sw.SwapShiftCost)
+				c.Writes += 2 // both words rewritten
+				swaps++
+				cur--
+			}
+		}
+		last[d] = cur
+	}
+
+	return SwapResult{
+		Result: Result{
+			Counts:    c,
+			LatencyNS: cfg.Params.LatencyNS(c),
+			Energy:    cfg.Params.Energy(c),
+			Sequences: 1,
+		},
+		Swaps: swaps,
+	}, nil
+}

@@ -1,0 +1,215 @@
+package soa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// General Offset Assignment (GOA): the k-address-register generalization
+// of SOA. Variables are partitioned among k address registers; each
+// register walks its own sub-layout, so a transition costs 1 only when
+// both endpoints belong to the same register AND sit more than one slot
+// apart in its layout (switching registers is free in the classic model).
+//
+// GOA is the exact structural analogue of the paper's inter-DBC problem —
+// partition first, order within each partition second — which is why the
+// paper's section II-B presents inter/intra-DBC placement as the
+// decomposition it is. The canonical GOA heuristic partitions by access
+// frequency (Leupers' variable partitioning), precisely what the AFD
+// baseline does across DBCs.
+
+// GOACost evaluates a partition+layout: groups[r] is register r's layout.
+// Every accessed variable must appear exactly once across all groups.
+func GOACost(s *trace.Sequence, groups [][]int) (int64, error) {
+	reg := make([]int, s.NumVars())
+	pos := make([]int, s.NumVars())
+	for i := range reg {
+		reg[i] = -1
+	}
+	for r, layout := range groups {
+		for p, v := range layout {
+			if v < 0 || v >= s.NumVars() {
+				return 0, fmt.Errorf("soa: variable %d out of universe", v)
+			}
+			if reg[v] != -1 {
+				return 0, fmt.Errorf("soa: variable %d assigned twice", v)
+			}
+			reg[v] = r
+			pos[v] = p
+		}
+	}
+	// Each register remembers its own last position (the AR points where
+	// it last pointed); a same-register transition farther than one slot
+	// from that position costs an address-arithmetic instruction.
+	last := make([]int, len(groups))
+	for i := range last {
+		last[i] = -1
+	}
+	var cost int64
+	for i, a := range s.Accesses {
+		r := reg[a.Var]
+		if r == -1 {
+			return 0, fmt.Errorf("soa: access %d to unassigned variable %d", i, a.Var)
+		}
+		if prev := last[r]; prev >= 0 {
+			d := pos[a.Var] - prev
+			if d < 0 {
+				d = -d
+			}
+			if d > 1 {
+				cost++
+			}
+		}
+		last[r] = pos[a.Var]
+	}
+	return cost, nil
+}
+
+// GOAFrequency is the classic frequency-based GOA heuristic: sort
+// variables by descending access frequency, deal them round-robin over
+// the k registers (the AFD move), then order each register's variables
+// with Liao's SOA heuristic on the register-restricted subsequence.
+func GOAFrequency(s *trace.Sequence, k int) ([][]int, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("soa: k must be positive, got %d", k)
+	}
+	a := trace.Analyze(s)
+	groups := make([][]int, k)
+	for i, v := range a.ByFrequency() {
+		groups[i%k] = append(groups[i%k], v)
+	}
+	for r := range groups {
+		groups[r] = liaoWithin(s, groups[r])
+	}
+	return groups, nil
+}
+
+// liaoWithin orders one register's variables by Liao's greedy over the
+// register-restricted access graph.
+func liaoWithin(s *trace.Sequence, vars []int) []int {
+	if len(vars) <= 2 {
+		return vars
+	}
+	member := make([]bool, s.NumVars())
+	for _, v := range vars {
+		member[v] = true
+	}
+	g := trace.BuildSubgraph(s, func(v int) bool { return member[v] })
+
+	degree := make(map[int]int, len(vars))
+	next := make(map[int][]int, len(vars))
+	parent := make(map[int]int, len(vars))
+	var find func(x int) int
+	find = func(x int) int {
+		r, ok := parent[x]
+		if !ok || r == x {
+			return x
+		}
+		root := find(r)
+		parent[x] = root
+		return root
+	}
+	for _, e := range g.Edges() {
+		if !member[e.U] || !member[e.V] {
+			continue
+		}
+		if degree[e.U] >= 2 || degree[e.V] >= 2 {
+			continue
+		}
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			continue
+		}
+		parent[ru] = rv
+		degree[e.U]++
+		degree[e.V]++
+		next[e.U] = append(next[e.U], e.V)
+		next[e.V] = append(next[e.V], e.U)
+	}
+	visited := make(map[int]bool, len(vars))
+	var out []int
+	var endpoints []int
+	for _, v := range vars {
+		if degree[v] == 1 {
+			endpoints = append(endpoints, v)
+		}
+	}
+	sort.Ints(endpoints)
+	for _, start := range endpoints {
+		if visited[start] {
+			continue
+		}
+		cur, prev := start, -1
+		for {
+			visited[cur] = true
+			out = append(out, cur)
+			advanced := false
+			for _, n := range next[cur] {
+				if n != prev && !visited[n] {
+					prev, cur = cur, n
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				break
+			}
+		}
+	}
+	for _, v := range vars {
+		if !visited[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// GOADisjoint is the DMA-flavoured GOA variant this repository
+// contributes as an extension experiment: extract a disjoint-lifespan
+// set (Algorithm 1's scan), give it its own address register in access
+// order, and distribute the rest frequency-wise over the remaining
+// registers. Mirrors the paper's inter-DBC move onto the address-register
+// problem.
+func GOADisjoint(s *trace.Sequence, k int) ([][]int, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("soa: k must be positive, got %d", k)
+	}
+	if k == 1 {
+		return [][]int{Liao(s)}, nil
+	}
+	a := trace.Analyze(s)
+	// Reuse the DMA scan: ascending first use, admit when the variable's
+	// frequency beats the nested-inside sum.
+	var disjoint, rest []int
+	tmin := 0
+	order := a.ByFirstUse()
+	for idx, v := range order {
+		if a.First[v] > tmin {
+			others := append(append([]int(nil), rest...), order[idx+1:]...)
+			if a.Freq[v] > a.InnerFreqSum(v, others) {
+				disjoint = append(disjoint, v)
+				tmin = a.Last[v]
+				continue
+			}
+		}
+		rest = append(rest, v)
+	}
+	groups := make([][]int, k)
+	groups[0] = disjoint
+	sort.SliceStable(rest, func(i, j int) bool {
+		if a.Freq[rest[i]] != a.Freq[rest[j]] {
+			return a.Freq[rest[i]] > a.Freq[rest[j]]
+		}
+		return rest[i] < rest[j]
+	})
+	for i, v := range rest {
+		r := 1 + i%(k-1)
+		groups[r] = append(groups[r], v)
+	}
+	for r := 1; r < k; r++ {
+		groups[r] = liaoWithin(s, groups[r])
+	}
+	return groups, nil
+}

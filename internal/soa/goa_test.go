@@ -1,0 +1,146 @@
+package soa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestGOACostBasics(t *testing.T) {
+	// Two registers: r0 = [0 1], r1 = [2 3]. Sequence 0 2 1 3: all
+	// transitions switch registers or move one slot -> cost 0.
+	s := trace.NewSequence(0, 2, 1, 3)
+	c, err := GOACost(s, [][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("cost = %d, want 0 (register switches are free)", c)
+	}
+	// One register holding all four at 0..3: 0->2 costs, 2->1 free
+	// (distance 1), 1->3 costs.
+	c, err = GOACost(s, [][]int{{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 2 {
+		t.Errorf("cost = %d, want 2", c)
+	}
+}
+
+func TestGOACostValidation(t *testing.T) {
+	s := trace.NewSequence(0, 1)
+	if _, err := GOACost(s, [][]int{{0}}); err == nil {
+		t.Error("unassigned variable accepted")
+	}
+	if _, err := GOACost(s, [][]int{{0, 1}, {1}}); err == nil {
+		t.Error("duplicate assignment accepted")
+	}
+	if _, err := GOACost(s, [][]int{{0, 9}}); err == nil {
+		t.Error("out-of-universe accepted")
+	}
+}
+
+func TestGOAHeuristicsProduceValidPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(14)
+		vars := make([]int, 15+rng.Intn(80))
+		for i := range vars {
+			vars[i] = rng.Intn(n)
+		}
+		s := trace.NewSequence(vars...)
+		for k := 1; k <= 4; k++ {
+			g1, err := GOAFrequency(s, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := GOACost(s, g1); err != nil {
+				t.Fatalf("trial %d k=%d: GOAFrequency invalid: %v", trial, k, err)
+			}
+			g2, err := GOADisjoint(s, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := GOACost(s, g2); err != nil {
+				t.Fatalf("trial %d k=%d: GOADisjoint invalid: %v", trial, k, err)
+			}
+		}
+	}
+}
+
+func TestMoreRegistersNeverHurtFrequencyHeuristic(t *testing.T) {
+	// More registers give the frequency heuristic strictly more freedom;
+	// on average cost should not grow. Check a fixed workload.
+	rng := rand.New(rand.NewSource(5))
+	vars := make([]int, 300)
+	for i := range vars {
+		vars[i] = rng.Intn(24)
+	}
+	s := trace.NewSequence(vars...)
+	var prev int64 = -1
+	for _, k := range []int{1, 2, 4, 8} {
+		g, err := GOAFrequency(s, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := GOACost(s, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && c > prev {
+			t.Errorf("k=%d cost %d worse than fewer registers (%d)", k, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestGOADisjointBeatsFrequencyOnPhasedTrace(t *testing.T) {
+	// Phased straight-line trace: the disjoint register absorbs the
+	// phase-local variables, mirroring the paper's inter-DBC result.
+	var vars []int
+	for p := 0; p < 10; p++ {
+		a, b := 2*p, 2*p+1
+		for r := 0; r < 6; r++ {
+			vars = append(vars, a, b)
+		}
+	}
+	s := trace.NewSequence(vars...)
+	gf, err := GOAFrequency(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := GOACost(s, gf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := GOADisjoint(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := GOACost(s, gd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd > cf {
+		t.Errorf("disjoint GOA (%d) worse than frequency GOA (%d) on phased trace", cd, cf)
+	}
+}
+
+func TestGOAErrors(t *testing.T) {
+	s := trace.NewSequence(0, 1)
+	if _, err := GOAFrequency(s, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := GOADisjoint(s, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	g, err := GOADisjoint(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GOACost(s, g); err != nil {
+		t.Errorf("k=1 disjoint GOA invalid: %v", err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package soa implements the classic Single Offset Assignment problem —
+// the DSP address-code optimization that OffsetStone (Leupers, CC'03, the
+// paper's ref [9]) was built to benchmark, and the direct ancestor of the
+// paper's intra-DBC placement heuristics (section II-B).
+//
+// Setting: a DSP address register walks a memory layout of the function's
+// variables; stepping to an adjacent address (distance <= 1, including
+// staying put) is free auto-increment/decrement, anything farther needs
+// an explicit address-arithmetic instruction of cost 1. SOA asks for the
+// variable layout minimizing those instructions over an access sequence.
+//
+// The RTM connection the paper draws: replace "cost 1 when distance > 1"
+// with "cost = distance" and SOA's layout problem becomes intra-DBC
+// placement. The same access graph drives both, which is why Liao-style
+// max-weight path covers (Chen's heuristic) transfer. CompareWithRTM in
+// the tests quantifies the relationship on random traces.
+package soa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Cost returns the SOA cost of a layout: the number of consecutive access
+// pairs whose layout distance exceeds 1. order must contain every
+// accessed variable exactly once.
+func Cost(s *trace.Sequence, order []int) (int64, error) {
+	pos := make([]int, s.NumVars())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, v := range order {
+		if v < 0 || v >= s.NumVars() {
+			return 0, fmt.Errorf("soa: variable %d out of universe [0,%d)", v, s.NumVars())
+		}
+		if pos[v] != -1 {
+			return 0, fmt.Errorf("soa: variable %d placed twice", v)
+		}
+		pos[v] = i
+	}
+	var cost int64
+	prev := -1
+	for i, a := range s.Accesses {
+		if pos[a.Var] == -1 {
+			return 0, fmt.Errorf("soa: access %d to unplaced variable %d", i, a.Var)
+		}
+		if prev >= 0 {
+			d := pos[a.Var] - prev
+			if d < 0 {
+				d = -d
+			}
+			if d > 1 {
+				cost++
+			}
+		}
+		prev = pos[a.Var]
+	}
+	return cost, nil
+}
+
+// OFU returns the order-of-first-use layout, the standard SOA baseline.
+func OFU(s *trace.Sequence) []int {
+	a := trace.Analyze(s)
+	return a.ByFirstUse()
+}
+
+// Liao computes the classic greedy of Liao et al.: sort access-graph
+// edges by descending weight and accept an edge whenever both endpoints
+// still have degree < 2 and no cycle would form, yielding a path cover;
+// paths are concatenated heaviest-first, isolated variables appended by
+// descending frequency. Every free auto-increment the final layout grants
+// corresponds to an accepted edge.
+func Liao(s *trace.Sequence) []int {
+	a := trace.Analyze(s)
+	vars := a.ByFirstUse()
+	if len(vars) <= 2 {
+		return vars
+	}
+	g := trace.BuildGraph(s)
+
+	degree := make(map[int]int, len(vars))
+	next := make(map[int][]int, len(vars))
+	parent := make(map[int]int, len(vars))
+	var find func(x int) int
+	find = func(x int) int {
+		r, ok := parent[x]
+		if !ok || r == x {
+			return x
+		}
+		root := find(r)
+		parent[x] = root
+		return root
+	}
+	for _, e := range g.Edges() {
+		if degree[e.U] >= 2 || degree[e.V] >= 2 {
+			continue
+		}
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			continue
+		}
+		parent[ru] = rv
+		degree[e.U]++
+		degree[e.V]++
+		next[e.U] = append(next[e.U], e.V)
+		next[e.V] = append(next[e.V], e.U)
+	}
+
+	visited := make(map[int]bool, len(vars))
+	type path struct {
+		nodes  []int
+		weight int
+	}
+	var paths []path
+	var endpoints []int
+	for _, v := range vars {
+		if degree[v] == 1 {
+			endpoints = append(endpoints, v)
+		}
+	}
+	sort.Ints(endpoints)
+	for _, start := range endpoints {
+		if visited[start] {
+			continue
+		}
+		p := path{}
+		cur, prev := start, -1
+		for {
+			visited[cur] = true
+			p.nodes = append(p.nodes, cur)
+			advanced := false
+			for _, n := range next[cur] {
+				if n != prev && !visited[n] {
+					p.weight += g.Weight(cur, n)
+					prev, cur = cur, n
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				break
+			}
+		}
+		paths = append(paths, p)
+	}
+	sort.SliceStable(paths, func(i, j int) bool { return paths[i].weight > paths[j].weight })
+
+	out := make([]int, 0, len(vars))
+	for _, p := range paths {
+		out = append(out, p.nodes...)
+	}
+	var isolated []int
+	for _, v := range vars {
+		if !visited[v] {
+			isolated = append(isolated, v)
+		}
+	}
+	sort.SliceStable(isolated, func(i, j int) bool {
+		if a.Freq[isolated[i]] != a.Freq[isolated[j]] {
+			return a.Freq[isolated[i]] > a.Freq[isolated[j]]
+		}
+		return isolated[i] < isolated[j]
+	})
+	out = append(out, isolated...)
+	return out
+}
+
+// Exact enumerates all layouts of up to MaxExactVars variables and
+// returns an optimal one with its cost.
+const MaxExactVars = 9
+
+// Exact returns the optimal SOA layout for small instances.
+func Exact(s *trace.Sequence) ([]int, int64, error) {
+	a := trace.Analyze(s)
+	vars := a.ByFirstUse()
+	if len(vars) > MaxExactVars {
+		return nil, 0, fmt.Errorf("soa: Exact limited to %d variables, got %d", MaxExactVars, len(vars))
+	}
+	if len(vars) == 0 {
+		return nil, 0, nil
+	}
+	best := append([]int(nil), vars...)
+	bestCost, err := Cost(s, best)
+	if err != nil {
+		return nil, 0, err
+	}
+	perm := append([]int(nil), vars...)
+	var walk func(k int)
+	walk = func(k int) {
+		if k == len(perm) {
+			c, err := Cost(s, perm)
+			if err == nil && c < bestCost {
+				bestCost = c
+				copy(best, perm)
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			walk(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	walk(0)
+	return best, bestCost, nil
+}
+
+// UpperBound returns the trivial SOA cost bound: the number of non-self
+// transitions (every one of which costs at most 1).
+func UpperBound(s *trace.Sequence) int64 {
+	g := trace.BuildGraph(s)
+	return int64(g.TotalWeight())
+}

@@ -1,0 +1,186 @@
+package soa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/placement"
+	"repro/internal/trace"
+)
+
+func TestCostBasics(t *testing.T) {
+	// Layout [0 1 2]; sequence 0 1 0 2 2: transitions 0-1 (adjacent,
+	// free), 1-0 (free), 0-2 (distance 2, cost 1), 2-2 (self, free).
+	s := trace.NewSequence(0, 1, 0, 2, 2)
+	c, err := Cost(s, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1 {
+		t.Errorf("cost = %d, want 1", c)
+	}
+	// Layout [1 0 2]: 0-1 free, 1-0 free, 0-2 free (adjacent), total 0.
+	c, err = Cost(s, []int{1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("cost = %d, want 0", c)
+	}
+}
+
+func TestCostValidation(t *testing.T) {
+	s := trace.NewSequence(0, 1)
+	if _, err := Cost(s, []int{0}); err == nil {
+		t.Error("missing variable accepted")
+	}
+	if _, err := Cost(s, []int{0, 0}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := Cost(s, []int{0, 5}); err == nil {
+		t.Error("out-of-universe accepted")
+	}
+}
+
+func TestLiaoIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		vars := make([]int, 10+rng.Intn(60))
+		for i := range vars {
+			vars[i] = rng.Intn(n)
+		}
+		s := trace.NewSequence(vars...)
+		order := Liao(s)
+		if _, err := Cost(s, order); err != nil {
+			t.Fatalf("trial %d: Liao produced invalid layout: %v", trial, err)
+		}
+	}
+}
+
+func TestLiaoBeatsOFUOnLoopTrace(t *testing.T) {
+	// Prologue fixes the first-use order to 0,1,2,3; the loops then hammer
+	// pairs (0,2) and (1,3). OFU keeps the hot partners at distance 2,
+	// Liao puts each pair adjacent.
+	vars := []int{0, 1, 2, 3}
+	for i := 0; i < 20; i++ {
+		vars = append(vars, 0, 2) // hot pair (0,2)
+	}
+	for i := 0; i < 20; i++ {
+		vars = append(vars, 1, 3) // hot pair (1,3)
+	}
+	s := trace.NewSequence(vars...)
+	ofuCost, err := Cost(s, OFU(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liaoCost, err := Cost(s, Liao(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liaoCost >= ofuCost {
+		t.Errorf("Liao (%d) should beat OFU (%d) on paired loops", liaoCost, ofuCost)
+	}
+	// Both hot pairs must be adjacent in Liao's layout (the few residual
+	// cost units come from the one-off prologue transitions).
+	order := Liao(s)
+	pos := map[int]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, pair := range [][2]int{{0, 2}, {1, 3}} {
+		d := pos[pair[0]] - pos[pair[1]]
+		if d < 0 {
+			d = -d
+		}
+		if d != 1 {
+			t.Errorf("hot pair %v at distance %d in %v", pair, d, order)
+		}
+	}
+}
+
+func TestExactOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(5)
+		vars := make([]int, 8+rng.Intn(25))
+		for i := range vars {
+			vars[i] = rng.Intn(n)
+		}
+		s := trace.NewSequence(vars...)
+		_, opt, err := Exact(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, order := range map[string][]int{"OFU": OFU(s), "Liao": Liao(s)} {
+			c, err := Cost(s, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c < opt {
+				t.Fatalf("trial %d: %s (%d) beat the optimum (%d) — Exact is broken", trial, name, c, opt)
+			}
+		}
+	}
+	big := make([]int, 30)
+	for i := range big {
+		big[i] = i % 12
+	}
+	if _, _, err := Exact(trace.NewSequence(big...)); err == nil {
+		t.Error("oversized exact accepted")
+	}
+}
+
+// Property: SOA cost is bounded by the non-self transition count, and
+// equals it minus the adjacency-satisfied transitions.
+func TestCostBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vars := make([]int, len(raw))
+		for i, r := range raw {
+			vars[i] = int(r % 8)
+		}
+		s := trace.NewSequence(vars...)
+		c, err := Cost(s, OFU(s))
+		if err != nil {
+			return false
+		}
+		return c >= 0 && c <= UpperBound(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The lineage relationship the paper leans on (section II-B): for any
+// layout, SOA cost <= RTM intra-DBC shift cost (a transition costing
+// 0/1 in SOA costs its full distance in RTM), and layouts optimized for
+// RTM shifts are also good SOA layouts.
+func TestSOAVsRTMShiftCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(8)
+		vars := make([]int, 20+rng.Intn(60))
+		for i := range vars {
+			vars[i] = rng.Intn(n)
+		}
+		s := trace.NewSequence(vars...)
+		order := Liao(s)
+		soaCost, err := Cost(s, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &placement.Placement{DBC: [][]int{order}}
+		rtmCost, err := placement.ShiftCost(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if soaCost > rtmCost {
+			t.Fatalf("trial %d: SOA cost %d exceeds RTM shift cost %d for the same layout",
+				trial, soaCost, rtmCost)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Address-trace support: raw memory traces, as produced by binary
+// instrumentation or simulators, are lists of referenced addresses rather
+// than named variables. ParseAddressTrace folds word-aligned addresses
+// into memory objects (one variable per distinct word) so the placement
+// algorithms can run on them directly — the granularity RTSim operates at.
+//
+// Accepted line formats (comments with '#', blank lines ignored):
+//
+//	R 0x1000        read at hex address
+//	W 0x1004        write
+//	0x1008          bare address, treated as a read
+//	4104            decimal addresses are accepted too
+type AddressTraceError struct {
+	Line int
+	Msg  string
+}
+
+func (e *AddressTraceError) Error() string {
+	return fmt.Sprintf("trace: address trace line %d: %s", e.Line, e.Msg)
+}
+
+// ParseAddressTrace reads a raw address trace, mapping each distinct
+// aligned word of wordBytes bytes to one variable. Variables are named
+// "0x<address>" of their word base and numbered in order of first
+// appearance.
+func ParseAddressTrace(r io.Reader, wordBytes int) (*Sequence, error) {
+	if wordBytes <= 0 {
+		return nil, fmt.Errorf("trace: wordBytes must be positive, got %d", wordBytes)
+	}
+	s := &Sequence{}
+	index := make(map[uint64]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		write := false
+		addrTok := fields[0]
+		switch {
+		case len(fields) == 2 && (fields[0] == "R" || fields[0] == "r"):
+			addrTok = fields[1]
+		case len(fields) == 2 && (fields[0] == "W" || fields[0] == "w"):
+			write = true
+			addrTok = fields[1]
+		case len(fields) == 1:
+		default:
+			return nil, &AddressTraceError{Line: lineNo, Msg: fmt.Sprintf("unrecognized record %q", line)}
+		}
+		addr, err := parseAddr(addrTok)
+		if err != nil {
+			return nil, &AddressTraceError{Line: lineNo, Msg: err.Error()}
+		}
+		word := addr / uint64(wordBytes)
+		id, ok := index[word]
+		if !ok {
+			id = len(s.Names)
+			index[word] = id
+			s.Names = append(s.Names, fmt.Sprintf("0x%x", word*uint64(wordBytes)))
+		}
+		s.Accesses = append(s.Accesses, Access{Var: id, Write: write})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading address trace: %w", err)
+	}
+	s.refresh()
+	return s, nil
+}
+
+func parseAddr(tok string) (uint64, error) {
+	base := 10
+	t := tok
+	if strings.HasPrefix(tok, "0x") || strings.HasPrefix(tok, "0X") {
+		base = 16
+		t = tok[2:]
+	}
+	v, err := strconv.ParseUint(t, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", tok)
+	}
+	return v, nil
+}

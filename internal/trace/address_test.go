@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAddressTrace(t *testing.T) {
+	src := `
+# warmup
+R 0x1000
+W 0x1004
+0x1000
+R 4104        # decimal for 0x1008
+W 0x1001      # same word as 0x1000
+`
+	s, err := ParseAddressTrace(strings.NewReader(src), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("accesses = %d, want 5", s.Len())
+	}
+	// Words: 0x1000, 0x1004, 0x1008 -> 3 variables; 0x1001 folds into
+	// 0x1000's word.
+	if s.NumVars() != 3 {
+		t.Fatalf("vars = %d, want 3", s.NumVars())
+	}
+	if s.Name(0) != "0x1000" || s.Name(1) != "0x1004" || s.Name(2) != "0x1008" {
+		t.Errorf("names = %v", s.Names)
+	}
+	if s.Writes() != 2 {
+		t.Errorf("writes = %d, want 2", s.Writes())
+	}
+	// Access 4 (W 0x1001) must hit variable 0.
+	if s.Var(4) != 0 || !s.Accesses[4].Write {
+		t.Errorf("access 4 = %+v, want write to var 0", s.Accesses[4])
+	}
+}
+
+func TestParseAddressTraceWordGranularity(t *testing.T) {
+	src := "0x0\n0x7\n0x8\n"
+	s, err := ParseAddressTrace(strings.NewReader(src), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 2 {
+		t.Errorf("8-byte words: vars = %d, want 2", s.NumVars())
+	}
+}
+
+func TestParseAddressTraceErrors(t *testing.T) {
+	cases := []string{
+		"R 0x10 extra\n",
+		"X 0x10\n",
+		"R zz\n",
+		"0xgg\n",
+	}
+	for _, src := range cases {
+		if _, err := ParseAddressTrace(strings.NewReader(src), 4); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+	if _, err := ParseAddressTrace(strings.NewReader(""), 0); err == nil {
+		t.Error("wordBytes=0 accepted")
+	}
+	// Empty trace is fine.
+	s, err := ParseAddressTrace(strings.NewReader("# nothing\n"), 4)
+	if err != nil || s.Len() != 0 {
+		t.Errorf("empty trace: %v, %d", err, s.Len())
+	}
+}
+
+func TestAddressTraceErrorHasLine(t *testing.T) {
+	_, err := ParseAddressTrace(strings.NewReader("0x0\nbogus bogus bogus\n"), 4)
+	ae, ok := err.(*AddressTraceError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 2 {
+		t.Errorf("line = %d, want 2", ae.Line)
+	}
+}

@@ -1,0 +1,161 @@
+package trace
+
+import "fmt"
+
+// Analysis holds per-variable liveness statistics of an access sequence:
+// access frequency Av, first occurrence Fv and last occurrence Lv, using
+// 1-based positions as in the paper (position 0 means "never accessed").
+type Analysis struct {
+	Seq *Sequence
+	// Freq[v] is Av: how many times v appears in the sequence.
+	Freq []int
+	// First[v] is Fv: 1-based index of the first access to v, 0 if absent.
+	First []int
+	// Last[v] is Lv: 1-based index of the last access to v, 0 if absent.
+	Last []int
+}
+
+// Analyze scans the sequence once and computes frequency, first and last
+// occurrence for every variable in the universe.
+func Analyze(s *Sequence) *Analysis {
+	n := s.NumVars()
+	a := &Analysis{
+		Seq:   s,
+		Freq:  make([]int, n),
+		First: make([]int, n),
+		Last:  make([]int, n),
+	}
+	for i, acc := range s.Accesses {
+		v := acc.Var
+		a.Freq[v]++
+		if a.First[v] == 0 {
+			a.First[v] = i + 1
+		}
+		a.Last[v] = i + 1
+	}
+	return a
+}
+
+// Accessed reports whether variable v occurs in the sequence at all.
+func (a *Analysis) Accessed(v int) bool { return a.Freq[v] > 0 }
+
+// Lifespan returns Lv - Fv, the distance between the first and last access
+// of v. Variables accessed exactly once have lifespan 0, as do absent ones.
+func (a *Analysis) Lifespan(v int) int {
+	if !a.Accessed(v) {
+		return 0
+	}
+	return a.Last[v] - a.First[v]
+}
+
+// Disjoint reports whether u and v have disjoint lifespans: the last
+// occurrence of one precedes the first occurrence of the other. Variables
+// that never occur are vacuously disjoint from everything.
+func (a *Analysis) Disjoint(u, v int) bool {
+	if !a.Accessed(u) || !a.Accessed(v) {
+		return true
+	}
+	return a.Last[u] < a.First[v] || a.Last[v] < a.First[u]
+}
+
+// Contains reports whether the lifespan of u strictly contains the lifespan
+// of v: Fu < Fv and Lv < Lu.
+func (a *Analysis) Contains(u, v int) bool {
+	if !a.Accessed(u) || !a.Accessed(v) {
+		return false
+	}
+	return a.First[u] < a.First[v] && a.Last[v] < a.Last[u]
+}
+
+// InnerFreqSum returns the sum of access frequencies of all variables whose
+// lifespan lies strictly inside the lifespan of v, i.e. Fu > Fv and Lu < Lv,
+// restricted to the candidate set (nil means all variables). This is the
+// quantity Algorithm 1 of the paper compares Av against when deciding
+// whether v joins the disjoint set.
+func (a *Analysis) InnerFreqSum(v int, candidates []int) int {
+	sum := 0
+	if candidates == nil {
+		for u := range a.Freq {
+			if u != v && a.First[u] > a.First[v] && a.Last[u] < a.Last[v] {
+				sum += a.Freq[u]
+			}
+		}
+		return sum
+	}
+	for _, u := range candidates {
+		if u != v && a.First[u] > a.First[v] && a.Last[u] < a.Last[v] {
+			sum += a.Freq[u]
+		}
+	}
+	return sum
+}
+
+// ByFirstUse returns the accessed variables sorted in ascending order of
+// first occurrence (the paper's "order of first use", OFU).
+func (a *Analysis) ByFirstUse() []int {
+	out := make([]int, 0, len(a.Freq))
+	for v := range a.Freq {
+		if a.Accessed(v) {
+			out = append(out, v)
+		}
+	}
+	insertionSortBy(out, func(x, y int) bool { return a.First[x] < a.First[y] })
+	return out
+}
+
+// ByFrequency returns the accessed variables sorted in descending order of
+// access frequency. Ties keep ascending variable-index order (stable with
+// respect to declaration order), which is the tie-break needed to reproduce
+// the paper's Fig. 3 AFD layout.
+func (a *Analysis) ByFrequency() []int {
+	out := make([]int, 0, len(a.Freq))
+	for v := range a.Freq {
+		if a.Accessed(v) {
+			out = append(out, v)
+		}
+	}
+	insertionSortBy(out, func(x, y int) bool {
+		if a.Freq[x] != a.Freq[y] {
+			return a.Freq[x] > a.Freq[y]
+		}
+		return x < y
+	})
+	return out
+}
+
+// insertionSortBy sorts in place with a strict-weak less function. The
+// input slices here are small (variable lists); a stable, allocation-free
+// insertion sort keeps tie-break behaviour explicit and deterministic.
+func insertionSortBy(s []int, less func(x, y int) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// SelfAccesses returns the number of consecutive repeated accesses
+// (si == si+1) in the sequence. Placements cannot be charged shifts for
+// self accesses, so this is a lower-bound-improving statistic the DMA
+// heuristic tries to maximize inside the disjoint set.
+func SelfAccesses(s *Sequence) int {
+	n := 0
+	for i := 1; i < len(s.Accesses); i++ {
+		if s.Accesses[i].Var == s.Accesses[i-1].Var {
+			n++
+		}
+	}
+	return n
+}
+
+// Summary describes a sequence in one line, for logs and reports.
+func (a *Analysis) Summary() string {
+	vars := 0
+	for _, f := range a.Freq {
+		if f > 0 {
+			vars++
+		}
+	}
+	return fmt.Sprintf("%d accesses over %d variables (%d self-accesses)",
+		a.Seq.Len(), vars, SelfAccesses(a.Seq))
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The plain-text trace format, one benchmark per file:
+//
+//	# comment lines start with '#'
+//	seq <name>            begins a new access sequence (name optional)
+//	a b a c! b            whitespace-separated accesses; '!' marks a write
+//
+// Variables are named tokens; each sequence has its own variable universe,
+// numbered in order of first appearance, matching the offset-assignment
+// convention that sequences are independent placement problems.
+
+// Benchmark is a named collection of access sequences. OffsetStone-style
+// workloads contain one sequence per compiled function.
+type Benchmark struct {
+	Name      string
+	Sequences []*Sequence
+}
+
+// TotalAccesses sums the lengths of all sequences.
+func (b *Benchmark) TotalAccesses() int {
+	t := 0
+	for _, s := range b.Sequences {
+		t += s.Len()
+	}
+	return t
+}
+
+// MaxVars returns the largest variable universe across sequences.
+func (b *Benchmark) MaxVars() int {
+	m := 0
+	for _, s := range b.Sequences {
+		if n := s.NumVars(); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// MaxLen returns the longest sequence length.
+func (b *Benchmark) MaxLen() int {
+	m := 0
+	for _, s := range b.Sequences {
+		if s.Len() > m {
+			m = s.Len()
+		}
+	}
+	return m
+}
+
+// Parse reads a benchmark in the text format. Accesses that appear before
+// any "seq" directive form an implicit first sequence.
+func Parse(name string, r io.Reader) (*Benchmark, error) {
+	b := &Benchmark{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var cur []string
+	curName := ""
+	lineNo := 0
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		s, err := NewNamedSequence(cur...)
+		if err != nil {
+			return err
+		}
+		if curName == "" {
+			curName = fmt.Sprintf("seq%d", len(b.Sequences))
+		}
+		_ = curName // sequence names are informational only
+		b.Sequences = append(b.Sequences, s)
+		cur = nil
+		curName = ""
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "seq" {
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			cur = []string{}
+			if len(fields) > 1 {
+				curName = fields[1]
+			}
+			continue
+		}
+		if cur == nil {
+			cur = []string{}
+		}
+		cur = append(cur, fields...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading %s: %w", name, err)
+	}
+	if err := flush(); err != nil {
+		return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+	}
+	return b, nil
+}
+
+// Write renders the benchmark in the text format accepted by Parse.
+func Write(w io.Writer, b *Benchmark) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# benchmark %s: %d sequences, %d accesses\n",
+		b.Name, len(b.Sequences), b.TotalAccesses())
+	for i, s := range b.Sequences {
+		fmt.Fprintf(bw, "seq s%d\n", i)
+		col := 0
+		for _, a := range s.Accesses {
+			tok := s.Name(a.Var)
+			if a.Write {
+				tok += "!"
+			}
+			if col > 0 && col+len(tok)+1 > 100 {
+				bw.WriteByte('\n')
+				col = 0
+			}
+			if col > 0 {
+				bw.WriteByte(' ')
+				col++
+			}
+			bw.WriteString(tok)
+			col += len(tok)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ParseString is a convenience wrapper over Parse for literal traces.
+func ParseString(name, text string) (*Benchmark, error) {
+	return Parse(name, strings.NewReader(text))
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the two trace parsers. `go test` exercises the seed
+// corpus; `go test -fuzz` explores further.
+
+func FuzzParse(f *testing.F) {
+	f.Add("a b a b c\n")
+	f.Add("seq f\nx y! z\nseq g\np p q\n")
+	f.Add("# comment\n\nseq only\n")
+	f.Add("!\n")
+	f.Add(strings.Repeat("v ", 500) + "\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		b, err := ParseString("fuzz", input)
+		if err != nil {
+			return // rejecting is fine; crashing is not
+		}
+		// Anything accepted must be internally consistent and survive a
+		// write/parse round trip with identical shape.
+		for i, s := range b.Sequences {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("seq %d invalid after parse: %v", i, err)
+			}
+		}
+		var sb strings.Builder
+		if err := Write(&sb, b); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		b2, err := ParseString("fuzz2", sb.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(b2.Sequences) != len(b.Sequences) {
+			t.Fatalf("round trip changed sequence count: %d -> %d",
+				len(b.Sequences), len(b2.Sequences))
+		}
+		for i := range b.Sequences {
+			if b2.Sequences[i].Len() != b.Sequences[i].Len() {
+				t.Fatalf("round trip changed seq %d length", i)
+			}
+		}
+	})
+}
+
+func FuzzParseAddressTrace(f *testing.F) {
+	f.Add("R 0x1000\nW 0x1004\n0x1008\n", 4)
+	f.Add("4096\n4097\n", 8)
+	f.Add("# nothing\n", 4)
+	f.Add("W 0xffffffffffffffff\n", 1)
+	f.Fuzz(func(t *testing.T, input string, word int) {
+		if word <= 0 || word > 64 {
+			word = 4
+		}
+		s, err := ParseAddressTrace(strings.NewReader(input), word)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted trace invalid: %v", err)
+		}
+		if s.Writes()+s.Reads() != s.Len() {
+			t.Fatal("read/write accounting broken")
+		}
+	})
+}

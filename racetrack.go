@@ -1,0 +1,260 @@
+// Package racetrack is the public API of this repository: a Go
+// implementation of "Generalized Data Placement Strategies for Racetrack
+// Memories" (Khan, Goens, Hameed, Castrillon — DATE 2020).
+//
+// Racetrack memories (RTM) store data in magnetic nanotracks grouped into
+// domain block clusters (DBCs); accessing a word requires shifting its
+// track under an access port, and shifts dominate RTM latency and energy.
+// Given a program's memory-access trace, this package computes placements
+// of the program's variables across and within DBCs that minimize the
+// total shift count, reproducing the paper's heuristics (DMA), baselines
+// (AFD, OFU, Chen, ShiftsReduce, random walk), genetic algorithm, and
+// evaluation pipeline (Table I device model, shift/latency/energy
+// simulation).
+//
+// # Quick start
+//
+//	seq, err := racetrack.ParseSequence("a b a b c a c a d d a")
+//	...
+//	res, err := racetrack.PlaceTrace(seq, racetrack.PlaceOptions{
+//		Strategy: racetrack.DMAOFU,
+//		DBCs:     4,
+//	})
+//	fmt.Println(res.Shifts, res.Placement)
+//
+// The subpackages under internal/ hold the implementation: trace analysis
+// (internal/trace), the RTM device model (internal/rtm), the Table I
+// energy model (internal/energy), the placement algorithms
+// (internal/placement), the synthetic OffsetStone workloads
+// (internal/offsetstone), the trace-driven simulator (internal/sim) and
+// the per-figure experiment harness (internal/eval).
+package racetrack
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/energy"
+	"repro/internal/frontend"
+	"repro/internal/offsetstone"
+	"repro/internal/placement"
+	"repro/internal/rtm"
+	"repro/internal/rtmsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Strategy selects a placement algorithm. The six values mirror the
+// paper's evaluation (section IV-A).
+type Strategy = placement.StrategyID
+
+// The available placement strategies.
+const (
+	// AFDOFU is the state-of-the-art baseline (Chen et al.).
+	AFDOFU = placement.StrategyAFDOFU
+	// DMAOFU is the paper's disjoint-memory-accesses heuristic.
+	DMAOFU = placement.StrategyDMAOFU
+	// DMAChen pairs DMA with Chen's intra-DBC heuristic.
+	DMAChen = placement.StrategyDMAChen
+	// DMASR pairs DMA with the ShiftsReduce intra-DBC heuristic.
+	DMASR = placement.StrategyDMASR
+	// GA is the paper's genetic algorithm (near-optimal, slow).
+	GA = placement.StrategyGA
+	// RW is the random-walk search baseline.
+	RW = placement.StrategyRW
+)
+
+// Strategies lists all available strategies in the paper's order.
+func Strategies() []Strategy { return placement.AllStrategies() }
+
+// Sequence is an access sequence over named program variables.
+type Sequence = trace.Sequence
+
+// Benchmark is a named set of access sequences (one placement problem per
+// sequence, as in the offset-assignment literature).
+type Benchmark = trace.Benchmark
+
+// Placement assigns variables to (DBC, offset) locations.
+type Placement = placement.Placement
+
+// ParseSequence parses a whitespace-separated access sequence; each token
+// is a variable name, with a "!" suffix marking writes: "a b! a c".
+func ParseSequence(text string) (*Sequence, error) {
+	tokens := strings.Fields(text)
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("racetrack: empty access sequence")
+	}
+	return trace.NewNamedSequence(tokens...)
+}
+
+// ParseBenchmark parses the multi-sequence text format (see
+// internal/trace): "seq <name>" directives separate sequences.
+func ParseBenchmark(name, text string) (*Benchmark, error) {
+	return trace.ParseString(name, text)
+}
+
+// PlaceOptions configures PlaceTrace.
+type PlaceOptions struct {
+	// Strategy selects the algorithm; default DMAOFU.
+	Strategy Strategy
+	// DBCs is the number of domain block clusters (q); default 4.
+	DBCs int
+	// Capacity is the optional per-DBC word capacity (0 = unlimited).
+	Capacity int
+	// GA overrides the genetic-algorithm parameters (zero value: the
+	// paper's µ=λ=100, 200 generations, tournament 4).
+	GA placement.GAConfig
+	// RW overrides the random-walk parameters (zero value: the paper's
+	// 60 000 iterations).
+	RW placement.RWConfig
+}
+
+// PlaceResult is the outcome of a placement run.
+type PlaceResult struct {
+	// Placement is the computed layout.
+	Placement *Placement
+	// Shifts is its total shift cost under the paper's cost model.
+	Shifts int64
+	// PerDBC attributes shifts to DBCs.
+	PerDBC []int64
+}
+
+// PlaceTrace computes a placement for one access sequence.
+func PlaceTrace(s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
+	if opts.Strategy == "" {
+		opts.Strategy = DMAOFU
+	}
+	if opts.DBCs == 0 {
+		opts.DBCs = 4
+	}
+	p, c, err := placement.Place(opts.Strategy, s, opts.DBCs, placement.Options{
+		Capacity: opts.Capacity, GA: opts.GA, RW: opts.RW,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b, err := placement.ShiftCostBreakdown(s, p)
+	if err != nil {
+		return nil, err
+	}
+	_ = c
+	return &PlaceResult{Placement: p, Shifts: b.Total, PerDBC: b.PerDBC}, nil
+}
+
+// DeviceConfig describes a simulated RTM device.
+type DeviceConfig = sim.Config
+
+// TableIDevice returns the paper's iso-capacity 4 KiB device for a DBC
+// count of 2, 4, 8 or 16, including its Table I timing/energy parameters.
+func TableIDevice(dbcs int) (DeviceConfig, error) { return sim.TableIConfig(dbcs) }
+
+// TableIDBCCounts lists the DBC counts of Table I.
+func TableIDBCCounts() []int { return rtm.TableIDBCCounts() }
+
+// SimResult is the outcome of simulating a trace on a device.
+type SimResult = sim.Result
+
+// Simulate replays the sequence with the placement on the device and
+// returns shift/read/write counts, latency and the energy breakdown.
+func Simulate(dev DeviceConfig, s *Sequence, p *Placement) (SimResult, error) {
+	return sim.RunSequence(dev, s, p)
+}
+
+// SimulateBenchmark places (with the given strategy) and replays every
+// sequence of a benchmark, accumulating totals.
+func SimulateBenchmark(dev DeviceConfig, b *Benchmark, strategy Strategy, opts PlaceOptions) (SimResult, error) {
+	return sim.RunBenchmark(dev, b, sim.StrategyPlacer(strategy, placement.Options{
+		Capacity: opts.Capacity, GA: opts.GA, RW: opts.RW,
+	}))
+}
+
+// EnergyParams exposes the Table I row for a DBC count.
+func EnergyParams(dbcs int) (energy.Params, error) { return energy.ForDBCs(dbcs) }
+
+// ShiftCost evaluates a placement's shift cost without simulation.
+func ShiftCost(s *Sequence, p *Placement) (int64, error) { return placement.ShiftCost(s, p) }
+
+// BenchmarkNames lists the synthetic OffsetStone workloads bundled with
+// the library (the 31 applications named in the paper's Fig. 4).
+func BenchmarkNames() []string { return offsetstone.Names() }
+
+// GenerateBenchmark deterministically generates the named synthetic
+// OffsetStone workload (see internal/offsetstone for the trace model).
+func GenerateBenchmark(name string) (*Benchmark, error) { return offsetstone.Generate(name) }
+
+// CompileTrace compiles a program in the miniature frontend language
+// (assignments over scalar locals, bounded loops, one "func" block per
+// access sequence — see internal/frontend) into a benchmark. This is how
+// offset-assignment traces arise in a real compiler flow.
+func CompileTrace(name, source string) (*Benchmark, error) {
+	return frontend.Compile(name, source)
+}
+
+// CycleSimulator is the cycle-accurate RTSim-style device model with
+// banked queues and per-DBC shift state machines (see internal/rtmsim).
+type CycleSimulator = rtmsim.Simulator
+
+// CycleStats reports a cycle-accurate run.
+type CycleStats = rtmsim.Stats
+
+// NewCycleSimulator builds a cycle-accurate simulator for a Table I
+// configuration at the given controller clock.
+func NewCycleSimulator(dbcs int, clockGHz float64) (*CycleSimulator, error) {
+	g, err := rtm.TableIGeometry(dbcs)
+	if err != nil {
+		return nil, err
+	}
+	p, err := energy.ForDBCs(dbcs)
+	if err != nil {
+		return nil, err
+	}
+	return rtmsim.New(g, p, clockGHz, rtmsim.InterleaveDomain)
+}
+
+// NewBankedCycleSimulator is NewCycleSimulator with the iso-capacity DBCs
+// spread over `banks` independent banks (dbcs must divide evenly), so
+// open-loop request streams can overlap shifting across banks.
+func NewBankedCycleSimulator(dbcs, banks int, clockGHz float64) (*CycleSimulator, error) {
+	g, err := rtm.TableIGeometry(dbcs)
+	if err != nil {
+		return nil, err
+	}
+	if banks <= 0 || dbcs%banks != 0 {
+		return nil, fmt.Errorf("racetrack: %d banks must evenly divide %d DBCs", banks, dbcs)
+	}
+	g.Banks = banks
+	g.DBCsPerSubarray = dbcs / banks
+	p, err := energy.ForDBCs(dbcs)
+	if err != nil {
+		return nil, err
+	}
+	return rtmsim.New(g, p, clockGHz, rtmsim.InterleaveDomain)
+}
+
+// SimulateCycles replays the sequence with the placement on the
+// cycle-accurate model. serialized selects the closed-loop CPU model
+// (program-order dependencies); open-loop exposes bank parallelism.
+func SimulateCycles(cs *CycleSimulator, s *Sequence, p *Placement, serialized bool) (CycleStats, error) {
+	return rtmsim.RunPlacement(cs, s, p, serialized)
+}
+
+// RTMCache is a set-associative cache with an RTM data array (TapeCache
+// lineage; see internal/cache): one set per DBC, one way per domain, so
+// hits pay shift costs too.
+type RTMCache = cache.Cache
+
+// RTMCacheConfig configures an RTMCache.
+type RTMCacheConfig = cache.Config
+
+// Cache insertion policies.
+const (
+	// CacheInsertLRU is classic least-recently-used replacement.
+	CacheInsertLRU = cache.InsertLRU
+	// CacheInsertNearPort victimizes the cheapest-to-align way among the
+	// colder half — the shift-aware policy.
+	CacheInsertNearPort = cache.InsertNearPort
+)
+
+// NewRTMCache builds an RTM-backed cache.
+func NewRTMCache(cfg RTMCacheConfig) (*RTMCache, error) { return cache.New(cfg) }
