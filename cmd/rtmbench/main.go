@@ -37,7 +37,7 @@ func main() {
 		bench     = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 31)")
 		csvDir    = flag.String("csv-dir", "", "also write each experiment's dataset as CSV into this directory")
 		maxPorts  = flag.Int("max-ports", 4, "port counts for the ports sweep")
-		workers   = flag.Int("workers", runtime.NumCPU(), "goroutines for GA fitness evaluation")
+		workers   = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the experiment engine and GA fitness evaluation")
 		convBench = flag.String("convergence-benchmark", "", "benchmark for -exp convergence (default: whole-suite largest)")
 	)
 	flag.Parse()

@@ -12,11 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
 
+	_ "repro" // registers the extension strategies (DMA-2opt)
+	"repro/internal/engine"
 	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -24,7 +29,7 @@ import (
 
 func main() {
 	var (
-		strategy = flag.String("strategy", "DMA-SR", "placement strategy: AFD-OFU, DMA-OFU, DMA-Chen, DMA-SR, GA, RW")
+		strategy = flag.String("strategy", "DMA-SR", "placement strategy: "+strategyNames())
 		dbcs     = flag.Int("dbcs", 4, "number of DBCs (2, 4, 8 or 16 for Table I energy numbers)")
 		capacity = flag.Int("capacity", 0, "per-DBC capacity in words (0 = unlimited)")
 		format   = flag.String("format", "vars", "trace format: 'vars' (named variables) or 'addr' (raw R/W address records)")
@@ -33,6 +38,7 @@ func main() {
 		gaMu     = flag.Int("ga-mu", 100, "GA population size (strategy GA)")
 		rwIters  = flag.Int("rw-iterations", 60000, "random-walk iterations (strategy RW)")
 		seed     = flag.Int64("seed", 1, "PRNG seed for GA/RW")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker goroutines for placing sequences concurrently")
 		verbose  = flag.Bool("v", false, "print the placement layout per sequence")
 	)
 	flag.Parse()
@@ -42,13 +48,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(flag.Arg(0), *strategy, *format, *wordSize, *dbcs, *capacity, *gaGens, *gaMu, *rwIters, *seed, *verbose); err != nil {
+	if err := run(flag.Arg(0), *strategy, *format, *wordSize, *dbcs, *capacity, *gaGens, *gaMu, *rwIters, *workers, *seed, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "rtmplace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, strategy, format string, wordSize, dbcs, capacity, gaGens, gaMu, rwIters int, seed int64, verbose bool) error {
+// strategyNames lists every registered strategy for the flag help.
+func strategyNames() string {
+	var names []string
+	for _, id := range placement.Registered() {
+		names = append(names, string(id))
+	}
+	return strings.Join(names, ", ")
+}
+
+func run(path, strategy, format string, wordSize, dbcs, capacity, gaGens, gaMu, rwIters, workers int, seed int64, verbose bool) error {
 	var r io.Reader
 	name := path
 	if path == "-" {
@@ -94,20 +109,27 @@ func run(path, strategy, format string, wordSize, dbcs, capacity, gaGens, gaMu, 
 	}
 
 	id := placement.StrategyID(strategy)
-	var totalShifts int64
 	fmt.Printf("%s: %d sequence(s), strategy %s, %d DBCs\n", name, len(b.Sequences), id, dbcs)
+
+	// Sequences are independent placement problems: fan them out on the
+	// shared experiment engine and report in input order.
+	jobs := make([]engine.PlaceJob, len(b.Sequences))
+	for i, s := range b.Sequences {
+		jobs[i] = engine.PlaceJob{Sequence: s, Strategy: id, DBCs: dbcs, Options: opts}
+	}
+	out, err := engine.BatchPlace(context.Background(), jobs, workers)
+	if err != nil {
+		return err
+	}
+	var totalShifts int64
 	placements := make([]*placement.Placement, len(b.Sequences))
 	for i, s := range b.Sequences {
-		p, c, err := placement.Place(id, s, dbcs, opts)
-		if err != nil {
-			return fmt.Errorf("sequence %d: %w", i, err)
-		}
-		placements[i] = p
-		totalShifts += c
+		placements[i] = out[i].Placement
+		totalShifts += out[i].Shifts
 		fmt.Printf("  seq %d: %d accesses, %d variables -> %d shifts\n",
-			i, s.Len(), len(s.Distinct()), c)
+			i, s.Len(), len(s.Distinct()), out[i].Shifts)
 		if verbose {
-			fmt.Printf("    %s\n", p.Render(s))
+			fmt.Printf("    %s\n", placements[i].Render(s))
 		}
 	}
 	fmt.Printf("total shifts: %d\n", totalShifts)

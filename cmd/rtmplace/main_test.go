@@ -17,7 +17,7 @@ func writeTemp(t *testing.T, name, content string) string {
 
 func TestRunVarsFormat(t *testing.T) {
 	path := writeTemp(t, "t.trace", "seq f\na b a b c c\nseq g\nx y x\n")
-	err := run(path, "DMA-SR", "vars", 4, 4, 0, 10, 10, 50, 1, true)
+	err := run(path, "DMA-SR", "vars", 4, 4, 0, 10, 10, 50, 2, 1, true)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -25,7 +25,7 @@ func TestRunVarsFormat(t *testing.T) {
 
 func TestRunAddrFormat(t *testing.T) {
 	path := writeTemp(t, "t.addr", "R 0x100\nW 0x104\nR 0x100\n")
-	if err := run(path, "AFD-OFU", "addr", 4, 2, 0, 10, 10, 50, 1, false); err != nil {
+	if err := run(path, "AFD-OFU", "addr", 4, 2, 0, 10, 10, 50, 2, 1, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -33,7 +33,7 @@ func TestRunAddrFormat(t *testing.T) {
 func TestRunAllStrategies(t *testing.T) {
 	path := writeTemp(t, "t.trace", "a b a b c a c a d d a\n")
 	for _, s := range []string{"AFD-OFU", "DMA-OFU", "DMA-Chen", "DMA-SR", "GA", "RW"} {
-		if err := run(path, s, "vars", 4, 2, 0, 5, 8, 20, 1, false); err != nil {
+		if err := run(path, s, "vars", 4, 2, 0, 5, 8, 20, 1, 1, false); err != nil {
 			t.Errorf("%s: %v", s, err)
 		}
 	}
@@ -43,24 +43,24 @@ func TestRunNonTableIDBCCount(t *testing.T) {
 	// 3 DBCs has no Table I row; placement must still work, energy is
 	// skipped gracefully.
 	path := writeTemp(t, "t.trace", "a b a b\n")
-	if err := run(path, "DMA-OFU", "vars", 4, 3, 0, 5, 8, 20, 1, false); err != nil {
+	if err := run(path, "DMA-OFU", "vars", 4, 3, 0, 5, 8, 20, 1, 1, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing"), "DMA-SR", "vars", 4, 2, 0, 5, 8, 20, 1, false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing"), "DMA-SR", "vars", 4, 2, 0, 5, 8, 20, 1, 1, false); err == nil {
 		t.Error("missing file accepted")
 	}
 	empty := writeTemp(t, "empty.trace", "# nothing\n")
-	if err := run(empty, "DMA-SR", "vars", 4, 2, 0, 5, 8, 20, 1, false); err == nil {
+	if err := run(empty, "DMA-SR", "vars", 4, 2, 0, 5, 8, 20, 1, 1, false); err == nil {
 		t.Error("empty trace accepted")
 	}
 	bad := writeTemp(t, "t.trace", "a b\n")
-	if err := run(bad, "nope", "vars", 4, 2, 0, 5, 8, 20, 1, false); err == nil {
+	if err := run(bad, "nope", "vars", 4, 2, 0, 5, 8, 20, 1, 1, false); err == nil {
 		t.Error("unknown strategy accepted")
 	}
-	if err := run(bad, "DMA-SR", "bogus", 4, 2, 0, 5, 8, 20, 1, false); err == nil {
+	if err := run(bad, "DMA-SR", "bogus", 4, 2, 0, 5, 8, 20, 1, 1, false); err == nil {
 		t.Error("unknown format accepted")
 	}
 }

@@ -1,0 +1,72 @@
+// Example custom_strategy plugs a user-defined placement strategy into
+// the registry through the public racetrack.RegisterStrategy hook and
+// races it against the paper's heuristics and the built-in DMA-2opt
+// extension, using PlaceBenchmark to fan the benchmark's sequences out on
+// the shared experiment engine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	racetrack "repro"
+)
+
+// placeRoundRobin is the custom strategy: distribute variables over DBCs
+// round-robin in order of first use. It is deliberately naive — the point
+// is that a strategy written purely against the public API participates
+// in every driver that resolves strategies by name.
+func placeRoundRobin(s *racetrack.Sequence, q int, opts racetrack.StrategyOptions) (*racetrack.Placement, int64, error) {
+	p := &racetrack.Placement{DBC: make([][]int, q)}
+	seen := make(map[int]bool)
+	i := 0
+	for _, a := range s.Accesses {
+		if seen[a.Var] {
+			continue
+		}
+		seen[a.Var] = true
+		d := i % q
+		if opts.Capacity > 0 {
+			// Skip full DBCs; give up if every DBC is full.
+			for tries := 0; len(p.DBC[d]) >= opts.Capacity; tries++ {
+				if tries == q {
+					return nil, 0, fmt.Errorf("round-robin: all %d DBCs full", q)
+				}
+				d = (d + 1) % q
+			}
+		}
+		p.DBC[d] = append(p.DBC[d], a.Var)
+		i++
+	}
+	c, err := racetrack.ShiftCost(s, p)
+	return p, c, err
+}
+
+func main() {
+	if err := racetrack.RegisterStrategy("RR-FirstUse", placeRoundRobin); err != nil {
+		log.Fatal(err)
+	}
+
+	bench, err := racetrack.GenerateBenchmark("gsm")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s: %d sequences, %d workers\n\n",
+		bench.Name, len(bench.Sequences), runtime.NumCPU())
+	fmt.Printf("%-12s %12s\n", "strategy", "shifts")
+	for _, id := range []racetrack.Strategy{
+		"RR-FirstUse", racetrack.AFDOFU, racetrack.DMASR, racetrack.DMA2Opt,
+	} {
+		res, err := racetrack.PlaceBenchmark(bench, racetrack.PlaceOptions{
+			Strategy: id,
+			DBCs:     4,
+			Workers:  runtime.NumCPU(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %12d\n", id, res.TotalShifts)
+	}
+}

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// A PlaceJob is one placement cell: run one registry strategy on one
+// sequence at one DBC count.
+type PlaceJob struct {
+	Sequence *trace.Sequence
+	Strategy placement.StrategyID
+	DBCs     int
+	Options  placement.Options
+}
+
+// PlaceOutcome is the result of one PlaceJob.
+type PlaceOutcome struct {
+	Placement *placement.Placement
+	Shifts    int64
+}
+
+// BatchPlace runs every placement job on a worker pool of the given size
+// and returns the outcomes in job order. Results are identical for any
+// worker count; the first failing job (lowest index) aborts the batch.
+func BatchPlace(ctx context.Context, jobs []PlaceJob, workers int) ([]PlaceOutcome, error) {
+	return Map(ctx, len(jobs), workers, func(_ context.Context, i int) (PlaceOutcome, error) {
+		j := jobs[i]
+		p, c, err := placement.Place(j.Strategy, j.Sequence, j.DBCs, j.Options)
+		if err != nil {
+			return PlaceOutcome{}, fmt.Errorf("engine: cell %d (%s, q=%d): %w", i, j.Strategy, j.DBCs, err)
+		}
+		return PlaceOutcome{Placement: p, Shifts: c}, nil
+	})
+}
+
+// A SimJob is one simulation cell: place one sequence with one registry
+// strategy and replay it on the configured device.
+type SimJob struct {
+	Config   sim.Config
+	Sequence *trace.Sequence
+	Strategy placement.StrategyID
+	Options  placement.Options
+}
+
+// BatchSimulate runs every simulation cell on a worker pool of the given
+// size and returns the per-cell results in job order. Callers aggregate
+// the returned slice in input order, so totals (including float latency
+// and energy sums) are bit-identical for any worker count.
+func BatchSimulate(ctx context.Context, jobs []SimJob, workers int) ([]sim.Result, error) {
+	return Map(ctx, len(jobs), workers, func(_ context.Context, i int) (sim.Result, error) {
+		j := jobs[i]
+		r, err := sim.RunCell(j.Config, j.Sequence, j.Strategy, j.Options)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("engine: cell %d (%s, q=%d): %w", i, j.Strategy, j.Config.Geometry.DBCs(), err)
+		}
+		return r, nil
+	})
+}

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
 	"repro/internal/offsetstone"
 	"repro/internal/placement"
@@ -40,9 +39,10 @@ type Config struct {
 	// Capacity, when positive, enforces per-DBC capacity during
 	// placement. The paper's evaluation leaves this off.
 	Capacity int
-	// Parallel runs up to this many benchmarks concurrently in the
-	// experiment drivers (0 or 1 = sequential). Results are collected in
-	// deterministic order regardless.
+	// Parallel sizes the engine worker pool shared by the experiment
+	// drivers: up to this many (sequence × strategy × DBC-count) cells
+	// run concurrently (0 or 1 = sequential). Results are deterministic
+	// regardless of the worker count.
 	Parallel int
 }
 
@@ -121,46 +121,14 @@ func (c Config) options() placement.Options {
 	return placement.Options{Capacity: c.Capacity, GA: c.GA, RW: c.RW}
 }
 
-// forEach runs fn for every index in [0, n), using up to c.Parallel
-// goroutines, and returns the first error. fn implementations write only
-// to their own index of pre-sized result slices, keeping output
-// deterministic.
-func (c Config) forEach(n int, fn func(i int) error) error {
-	workers := c.Parallel
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
+// workers is the engine worker-pool size implied by Parallel. Every
+// driver fans its experiment cells out through internal/engine with this
+// count; results are deterministic regardless (see DESIGN.md §4).
+func (c Config) workers() int {
+	if c.Parallel < 1 {
+		return 1
 	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	errs := make([]error, n)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.Parallel
 }
 
 // Geomean returns the geometric mean of strictly positive values; zero or

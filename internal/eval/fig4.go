@@ -1,12 +1,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/placement"
-	"repro/internal/trace"
 )
 
 // Fig4Row is one benchmark's shift totals for every strategy at one DBC
@@ -48,85 +49,79 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 	}
 	opts := cfg.options()
 
+	// One placement job per (DBC count × benchmark × strategy × sequence)
+	// cell, submitted to the shared engine as a single batch; the cell
+	// index array maps outcomes back to their aggregation row.
+	type cellKey struct {
+		qi, bi int
+		id     placement.StrategyID
+	}
+	var jobs []engine.PlaceJob
+	var cells []cellKey
+	for qi, q := range cfg.DBCCounts {
+		for bi, b := range suite {
+			for _, id := range placement.AllStrategies() {
+				for _, s := range b.Sequences {
+					jobs = append(jobs, engine.PlaceJob{Sequence: s, Strategy: id, DBCs: q, Options: opts})
+					cells = append(cells, cellKey{qi: qi, bi: bi, id: id})
+				}
+			}
+		}
+	}
+	out, err := engine.BatchPlace(context.Background(), jobs, cfg.workers())
+	if err != nil {
+		return nil, fmt.Errorf("eval: fig4: %w", err)
+	}
+
+	// Aggregate sequence cells into per-benchmark rows in input order.
+	rows := make([]map[placement.StrategyID]int64, len(cfg.DBCCounts)*len(suite))
+	for i := range rows {
+		rows[i] = map[placement.StrategyID]int64{}
+	}
+	for i, o := range out {
+		c := cells[i]
+		rows[c.qi*len(suite)+c.bi][c.id] += o.Shifts
+	}
+
 	res := &Fig4Result{
 		Geomean:     map[int]map[placement.StrategyID]float64{},
 		AFDOverDMA:  map[int]float64{},
 		DMAOverChen: map[int]float64{},
 		DMAOverSR:   map[int]float64{},
 	}
-	for _, q := range cfg.DBCCounts {
-		type acc struct{ norm []float64 }
-		perStrategy := map[placement.StrategyID]*acc{}
-		for _, id := range placement.AllStrategies() {
-			perStrategy[id] = &acc{}
-		}
+	for qi, q := range cfg.DBCCounts {
+		perStrategy := map[placement.StrategyID][]float64{}
 		var afdOverDMA, dmaOverChen, dmaOverSR []float64
-
-		// Benchmarks are independent; compute their rows in parallel and
-		// aggregate in suite order.
-		rows := make([]Fig4Row, len(suite))
-		q := q
-		err := cfg.forEach(len(suite), func(i int) error {
-			b := suite[i]
+		for bi, b := range suite {
+			shifts := rows[qi*len(suite)+bi]
 			row := Fig4Row{
 				Benchmark:  b.Name,
 				DBCs:       q,
-				Shifts:     map[placement.StrategyID]int64{},
+				Shifts:     shifts,
 				Normalized: map[placement.StrategyID]float64{},
 			}
+			ga := shifts[placement.StrategyGA]
 			for _, id := range placement.AllStrategies() {
-				total, err := benchmarkShifts(id, b, q, opts)
-				if err != nil {
-					return fmt.Errorf("eval: fig4 %s/%s q=%d: %w", b.Name, id, q, err)
-				}
-				row.Shifts[id] = total
-			}
-			ga := row.Shifts[placement.StrategyGA]
-			for _, id := range placement.AllStrategies() {
-				row.Normalized[id] = ratio(float64(row.Shifts[id]), float64(ga))
-			}
-			rows[i] = row
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		for _, row := range rows {
-			for _, id := range placement.AllStrategies() {
-				perStrategy[id].norm = append(perStrategy[id].norm, row.Normalized[id])
+				row.Normalized[id] = ratio(float64(shifts[id]), float64(ga))
+				perStrategy[id] = append(perStrategy[id], row.Normalized[id])
 			}
 			afdOverDMA = append(afdOverDMA,
-				ratio(float64(row.Shifts[placement.StrategyAFDOFU]), float64(row.Shifts[placement.StrategyDMAOFU])))
+				ratio(float64(shifts[placement.StrategyAFDOFU]), float64(shifts[placement.StrategyDMAOFU])))
 			dmaOverChen = append(dmaOverChen,
-				ratio(float64(row.Shifts[placement.StrategyDMAOFU]), float64(row.Shifts[placement.StrategyDMAChen])))
+				ratio(float64(shifts[placement.StrategyDMAOFU]), float64(shifts[placement.StrategyDMAChen])))
 			dmaOverSR = append(dmaOverSR,
-				ratio(float64(row.Shifts[placement.StrategyDMAOFU]), float64(row.Shifts[placement.StrategyDMASR])))
+				ratio(float64(shifts[placement.StrategyDMAOFU]), float64(shifts[placement.StrategyDMASR])))
 			res.Rows = append(res.Rows, row)
 		}
-
 		res.Geomean[q] = map[placement.StrategyID]float64{}
-		for id, a := range perStrategy {
-			res.Geomean[q][id] = Geomean(a.norm)
+		for id, norm := range perStrategy {
+			res.Geomean[q][id] = Geomean(norm)
 		}
 		res.AFDOverDMA[q] = Geomean(afdOverDMA)
 		res.DMAOverChen[q] = Geomean(dmaOverChen)
 		res.DMAOverSR[q] = Geomean(dmaOverSR)
 	}
 	return res, nil
-}
-
-// benchmarkShifts totals the shift cost of one strategy over a benchmark's
-// sequences (each sequence is an independent placement problem).
-func benchmarkShifts(id placement.StrategyID, b *trace.Benchmark, q int, opts placement.Options) (int64, error) {
-	var total int64
-	for _, s := range b.Sequences {
-		_, c, err := placement.Place(id, s, q, opts)
-		if err != nil {
-			return 0, err
-		}
-		total += c
-	}
-	return total, nil
 }
 
 // Render prints the Fig. 4 dataset as an aligned text table, one block per

@@ -1,12 +1,65 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/placement"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
+
+// simGrid fans one simulation cell per (DBC count × benchmark × strategy
+// × sequence) out through the engine and returns the totals accumulated
+// per (DBC-count, benchmark, strategy) — indexed
+// (qi*len(suite)+bi)*len(strategies)+si — in deterministic input order.
+// It is the shared core of the Fig. 5, Fig. 6, latency and headline
+// drivers; per-sequence results fold into per-benchmark subtotals in
+// sequence order, matching the aggregation of the pre-engine drivers
+// bit-for-bit.
+func simGrid(cfg Config, suite []*trace.Benchmark, strategies []placement.StrategyID) ([]sim.Result, error) {
+	opts := cfg.options()
+	type cellKey struct{ qi, bi, si int }
+	var jobs []engine.SimJob
+	var cells []cellKey
+	for qi, q := range cfg.DBCCounts {
+		simCfg, err := sim.TableIConfig(q)
+		if err != nil {
+			return nil, err
+		}
+		for bi, b := range suite {
+			for si := range strategies {
+				for _, s := range b.Sequences {
+					jobs = append(jobs, engine.SimJob{Config: simCfg, Sequence: s, Strategy: strategies[si], Options: opts})
+					cells = append(cells, cellKey{qi: qi, bi: bi, si: si})
+				}
+			}
+		}
+	}
+	out, err := engine.BatchSimulate(context.Background(), jobs, cfg.workers())
+	if err != nil {
+		return nil, err
+	}
+	totals := make([]sim.Result, len(cfg.DBCCounts)*len(suite)*len(strategies))
+	for i, r := range out {
+		c := cells[i]
+		totals[(c.qi*len(suite)+c.bi)*len(strategies)+c.si].Add(r)
+	}
+	return totals, nil
+}
+
+// gridTotal sums one strategy's per-benchmark grid entries for one DBC
+// count in suite order (the same benchmark-subtotal-then-suite order the
+// pre-engine drivers used, preserving float bit-identity).
+func gridTotal(grid []sim.Result, nb, ns, qi, si int) sim.Result {
+	var agg sim.Result
+	for bi := 0; bi < nb; bi++ {
+		agg.Add(grid[(qi*nb+bi)*ns+si])
+	}
+	return agg
+}
 
 // EnergyStrategies are the three strategies the paper's Fig. 5 compares.
 func EnergyStrategies() []placement.StrategyID {
@@ -46,35 +99,27 @@ type Fig5Result struct {
 }
 
 // Fig5 regenerates the energy-breakdown experiment by simulating the suite
-// under each strategy and Table I configuration.
+// under each strategy and Table I configuration, one engine cell per
+// sequence.
 func Fig5(cfg Config) (*Fig5Result, error) {
 	suite, err := cfg.suite()
 	if err != nil {
 		return nil, err
 	}
-	opts := cfg.options()
+	strategies := EnergyStrategies()
+	grid, err := simGrid(cfg, suite, strategies)
+	if err != nil {
+		return nil, fmt.Errorf("eval: fig5: %w", err)
+	}
 
 	res := &Fig5Result{EnergySavings: map[placement.StrategyID]map[int]float64{}}
-	for _, q := range cfg.DBCCounts {
-		simCfg, err := sim.TableIConfig(q)
-		if err != nil {
-			return nil, err
-		}
+	for qi, q := range cfg.DBCCounts {
 		totals := map[placement.StrategyID]sim.Result{}
-		for _, id := range EnergyStrategies() {
-			var agg sim.Result
-			placer := sim.StrategyPlacer(id, opts)
-			for _, b := range suite {
-				r, err := sim.RunBenchmark(simCfg, b, placer)
-				if err != nil {
-					return nil, fmt.Errorf("eval: fig5 %s/%s q=%d: %w", b.Name, id, q, err)
-				}
-				agg.Add(r)
-			}
-			totals[id] = agg
+		for si, id := range strategies {
+			totals[id] = gridTotal(grid, len(suite), len(strategies), qi, si)
 		}
 		base := totals[placement.StrategyAFDOFU].Energy.TotalPJ()
-		for _, id := range EnergyStrategies() {
+		for _, id := range strategies {
 			t := totals[id]
 			res.Cells = append(res.Cells, Fig5Cell{
 				Strategy:  id,
@@ -147,32 +192,23 @@ func LatencyStrategies() []placement.StrategyID {
 	}
 }
 
-// Latency regenerates the section IV-C latency comparison.
+// Latency regenerates the section IV-C latency comparison through the
+// same engine grid as Fig. 5.
 func Latency(cfg Config) (*LatencyResult, error) {
 	suite, err := cfg.suite()
 	if err != nil {
 		return nil, err
 	}
-	opts := cfg.options()
-	res := &LatencyResult{Improvement: map[placement.StrategyID]map[int]float64{}}
 	all := append([]placement.StrategyID{placement.StrategyAFDOFU}, LatencyStrategies()...)
-	for _, q := range cfg.DBCCounts {
-		simCfg, err := sim.TableIConfig(q)
-		if err != nil {
-			return nil, err
-		}
+	grid, err := simGrid(cfg, suite, all)
+	if err != nil {
+		return nil, fmt.Errorf("eval: latency: %w", err)
+	}
+	res := &LatencyResult{Improvement: map[placement.StrategyID]map[int]float64{}}
+	for qi, q := range cfg.DBCCounts {
 		lat := map[placement.StrategyID]float64{}
-		for _, id := range all {
-			placer := sim.StrategyPlacer(id, opts)
-			total := 0.0
-			for _, b := range suite {
-				r, err := sim.RunBenchmark(simCfg, b, placer)
-				if err != nil {
-					return nil, fmt.Errorf("eval: latency %s/%s q=%d: %w", b.Name, id, q, err)
-				}
-				total += r.LatencyNS
-			}
-			lat[id] = total
+		for si, id := range all {
+			lat[id] = gridTotal(grid, len(suite), len(all), qi, si).LatencyNS
 		}
 		for _, id := range LatencyStrategies() {
 			if res.Improvement[id] == nil {

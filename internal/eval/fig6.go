@@ -40,13 +40,18 @@ type Fig6Result struct {
 	Rows []Fig6Row
 }
 
-// Fig6 regenerates the DBC-count trade-off study for DMA-SR.
+// Fig6 regenerates the DBC-count trade-off study for DMA-SR, one engine
+// cell per (DBC count × strategy × sequence).
 func Fig6(cfg Config) (*Fig6Result, error) {
 	suite, err := cfg.suite()
 	if err != nil {
 		return nil, err
 	}
-	opts := cfg.options()
+	strategies := []placement.StrategyID{placement.StrategyDMASR, placement.StrategyAFDOFU}
+	grid, err := simGrid(cfg, suite, strategies)
+	if err != nil {
+		return nil, fmt.Errorf("eval: fig6: %w", err)
+	}
 
 	type perQ struct {
 		dmasr sim.Result
@@ -54,25 +59,16 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 		area  float64
 	}
 	data := map[int]*perQ{}
-	for _, q := range cfg.DBCCounts {
+	for qi, q := range cfg.DBCCounts {
 		simCfg, err := sim.TableIConfig(q)
 		if err != nil {
 			return nil, err
 		}
-		p := &perQ{area: simCfg.Params.AreaMM2}
-		for _, b := range suite {
-			r, err := sim.RunBenchmark(simCfg, b, sim.StrategyPlacer(placement.StrategyDMASR, opts))
-			if err != nil {
-				return nil, fmt.Errorf("eval: fig6 %s q=%d: %w", b.Name, q, err)
-			}
-			p.dmasr.Add(r)
-			r, err = sim.RunBenchmark(simCfg, b, sim.StrategyPlacer(placement.StrategyAFDOFU, opts))
-			if err != nil {
-				return nil, fmt.Errorf("eval: fig6 %s q=%d: %w", b.Name, q, err)
-			}
-			p.afd.Add(r)
+		data[q] = &perQ{
+			area:  simCfg.Params.AreaMM2,
+			dmasr: gridTotal(grid, len(suite), len(strategies), qi, 0),
+			afd:   gridTotal(grid, len(suite), len(strategies), qi, 1),
 		}
-		data[q] = p
 	}
 
 	baseQ := cfg.DBCCounts[0]

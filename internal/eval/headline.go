@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/placement"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -28,23 +27,19 @@ func Headline(cfg Config) (*HeadlineResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := cfg.options()
+	// The abstract's aggregates need per-benchmark ratios, which the
+	// simGrid granularity provides directly.
+	strategies := []placement.StrategyID{placement.StrategyAFDOFU, placement.StrategyDMASR}
+	grid, err := simGrid(cfg, suite, strategies)
+	if err != nil {
+		return nil, fmt.Errorf("eval: headline: %w", err)
+	}
 
 	var shiftRatios, latSavings, energySavings []float64
-	for _, q := range cfg.DBCCounts {
-		simCfg, err := sim.TableIConfig(q)
-		if err != nil {
-			return nil, err
-		}
-		for _, b := range suite {
-			afd, err := sim.RunBenchmark(simCfg, b, sim.StrategyPlacer(placement.StrategyAFDOFU, opts))
-			if err != nil {
-				return nil, err
-			}
-			dma, err := sim.RunBenchmark(simCfg, b, sim.StrategyPlacer(placement.StrategyDMASR, opts))
-			if err != nil {
-				return nil, err
-			}
+	for qi := range cfg.DBCCounts {
+		for bi := range suite {
+			afd := grid[(qi*len(suite)+bi)*len(strategies)]
+			dma := grid[(qi*len(suite)+bi)*len(strategies)+1]
 			shiftRatios = append(shiftRatios, ratio(float64(afd.Counts.Shifts), float64(dma.Counts.Shifts)))
 			latSavings = append(latSavings, 1-ratio(dma.LatencyNS, afd.LatencyNS))
 			energySavings = append(energySavings, 1-ratio(dma.Energy.TotalPJ(), afd.Energy.TotalPJ()))

@@ -1,10 +1,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/placement"
+	"repro/internal/trace"
 )
 
 // PortsRow reports the shift totals for one access-port count, summed
@@ -39,31 +42,50 @@ func PortsSweep(cfg Config, maxPorts int) (*PortsResult, error) {
 	opts := cfg.options()
 	q := cfg.DBCCounts[0]
 
+	// Placements do not depend on the port count: place every sequence
+	// once per strategy through the engine (the pre-engine driver
+	// re-placed the whole suite for every port count), then replay the
+	// placements through multi-port shift engines per port count.
+	var seqs []*trace.Sequence
+	for _, b := range suite {
+		seqs = append(seqs, b.Sequences...)
+	}
+	var jobs []engine.PlaceJob
+	for _, s := range seqs {
+		jobs = append(jobs,
+			engine.PlaceJob{Sequence: s, Strategy: placement.StrategyAFDOFU, DBCs: q, Options: opts},
+			engine.PlaceJob{Sequence: s, Strategy: placement.StrategyDMASR, DBCs: q, Options: opts})
+	}
+	placed, err := engine.BatchPlace(context.Background(), jobs, cfg.workers())
+	if err != nil {
+		return nil, fmt.Errorf("eval: ports: %w", err)
+	}
+
 	res := &PortsResult{DBCs: q}
 	for ports := 1; ports <= maxPorts; ports++ {
-		var afd, dma int64
-		for _, b := range suite {
-			for _, s := range b.Sequences {
-				pa, _, err := placement.Place(placement.StrategyAFDOFU, s, q, opts)
-				if err != nil {
-					return nil, err
-				}
-				pd, _, err := placement.Place(placement.StrategyDMASR, s, q, opts)
-				if err != nil {
-					return nil, err
-				}
+		type pair struct{ afd, dma int64 }
+		costs, err := engine.Map(context.Background(), len(seqs), cfg.workers(),
+			func(_ context.Context, i int) (pair, error) {
+				s := seqs[i]
+				pa, pd := placed[2*i].Placement, placed[2*i+1].Placement
 				domains := maxInt(pa.MaxDBCLen(), maxInt(pd.MaxDBCLen(), ports))
 				ca, err := placement.EngineCost(s, pa, domains, ports)
 				if err != nil {
-					return nil, err
+					return pair{}, err
 				}
 				cd, err := placement.EngineCost(s, pd, domains, ports)
 				if err != nil {
-					return nil, err
+					return pair{}, err
 				}
-				afd += ca
-				dma += cd
-			}
+				return pair{afd: ca, dma: cd}, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("eval: ports: %w", err)
+		}
+		var afd, dma int64
+		for _, c := range costs {
+			afd += c.afd
+			dma += c.dma
 		}
 		res.Rows = append(res.Rows, PortsRow{
 			Ports:    ports,

@@ -1,0 +1,27 @@
+package placement
+
+import (
+	"repro/internal/trace"
+)
+
+// PlaceDMATwoOpt is the two-opt-refined DMA strategy: the paper's DMA
+// inter-DBC heuristic with a ShiftsReduce intra ordering on the
+// non-disjoint DBCs, polished by the TwoOpt local search (see twoopt.go).
+// TwoOpt can only keep or improve the intra cost, so this strategy is
+// never worse than DMA-SR on the cost model. It is not one of the paper's
+// six evaluated strategies; the racetrack package registers it as
+// "DMA-2opt" through the public RegisterStrategy hook to demonstrate
+// registry extensibility.
+func PlaceDMATwoOpt(s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
+	a := trace.Analyze(s)
+	r, err := DMA(a, q, opts.Capacity)
+	if err != nil {
+		return nil, 0, err
+	}
+	refined := func(vars []int, s *trace.Sequence, a *trace.Analysis) []int {
+		return TwoOpt(ShiftsReduce(vars, s, a), s, a)
+	}
+	p := ApplyIntra(r.Placement, r.DisjointDBCs, q, refined, s, a)
+	c, err := ShiftCost(s, p)
+	return p, c, err
+}

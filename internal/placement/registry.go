@@ -1,0 +1,202 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// A Strategy is a pluggable placement algorithm. The six paper strategies
+// are registered at package init; additional strategies can be plugged in
+// with Register (or racetrack.RegisterStrategy from the public API)
+// without touching the dispatch code — every driver that resolves
+// strategies by name (Place, the eval harness, the CLI tools) picks them
+// up automatically.
+type Strategy interface {
+	// Name returns the identifier the strategy is dispatched under.
+	Name() string
+	// Place computes a placement of the sequence's variables into q DBCs
+	// and returns it together with its shift cost under the paper's cost
+	// model.
+	Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, error)
+}
+
+// strategyFunc adapts a plain function to the Strategy interface.
+type strategyFunc struct {
+	name string
+	fn   func(s *trace.Sequence, q int, opts Options) (*Placement, int64, error)
+}
+
+func (s strategyFunc) Name() string { return s.name }
+func (s strategyFunc) Place(seq *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
+	return s.fn(seq, q, opts)
+}
+
+// NewStrategy wraps fn as a named Strategy. A nil fn yields a nil
+// Strategy, which Register rejects.
+func NewStrategy(name string, fn func(s *trace.Sequence, q int, opts Options) (*Placement, int64, error)) Strategy {
+	if fn == nil {
+		return nil
+	}
+	return strategyFunc{name: name, fn: fn}
+}
+
+// registry is the process-wide strategy table. Reads (Lookup, per-job
+// dispatch in the experiment engine) vastly outnumber writes
+// (registration, typically at init), hence the RWMutex.
+var registry = struct {
+	sync.RWMutex
+	byID  map[StrategyID]Strategy
+	order []StrategyID // registration order, builtins first
+}{byID: map[StrategyID]Strategy{}}
+
+// Register adds a strategy to the registry. It fails on an empty name and
+// on duplicate registration; strategies are process-wide and cannot be
+// replaced (re-registering would silently change every driver that
+// resolves the name).
+func Register(st Strategy) error {
+	if st == nil {
+		return fmt.Errorf("placement: Register called with nil strategy")
+	}
+	id := StrategyID(st.Name())
+	if id == "" {
+		return fmt.Errorf("placement: Register called with empty strategy name")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byID[id]; dup {
+		return fmt.Errorf("placement: strategy %q already registered", id)
+	}
+	registry.byID[id] = st
+	registry.order = append(registry.order, id)
+	return nil
+}
+
+// MustRegister is Register, panicking on error. Intended for package init
+// blocks, where a clash is a programming error.
+func MustRegister(st Strategy) {
+	if err := Register(st); err != nil {
+		panic(err)
+	}
+}
+
+// LookupStrategy resolves a strategy by name.
+func LookupStrategy(id StrategyID) (Strategy, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	st, ok := registry.byID[id]
+	return st, ok
+}
+
+// Registered lists every registered strategy name: the six paper
+// strategies first (in the paper's presentation order), then plugged-in
+// strategies sorted by name (registration order of plugins is otherwise
+// load-order dependent and would make experiment output unstable).
+func Registered() []StrategyID {
+	registry.RLock()
+	defer registry.RUnlock()
+	builtin := AllStrategies()
+	isBuiltin := map[StrategyID]bool{}
+	for _, id := range builtin {
+		isBuiltin[id] = true
+	}
+	var plugins []StrategyID
+	for _, id := range registry.order {
+		if !isBuiltin[id] {
+			plugins = append(plugins, id)
+		}
+	}
+	sort.Slice(plugins, func(i, j int) bool { return plugins[i] < plugins[j] })
+	return append(builtin, plugins...)
+}
+
+// The six paper strategies, behind the Strategy interface.
+
+// afdOFU is the state-of-the-art baseline: AFD inter-DBC distribution with
+// order-of-first-use intra-DBC placement.
+type afdOFU struct{}
+
+func (afdOFU) Name() string { return string(StrategyAFDOFU) }
+
+func (afdOFU) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
+	a := trace.Analyze(s)
+	p, err := AFD(a, q)
+	if err != nil {
+		return nil, 0, err
+	}
+	p = ApplyIntra(p, 0, q, OFU, s, a)
+	c, err := ShiftCost(s, p)
+	return p, c, err
+}
+
+// dma is the paper's heuristic (Algorithm 1) paired with an intra-DBC
+// heuristic on the non-disjoint DBCs.
+type dma struct {
+	id    StrategyID
+	intra IntraHeuristic
+}
+
+func (d dma) Name() string { return string(d.id) }
+
+func (d dma) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
+	a := trace.Analyze(s)
+	r, err := DMA(a, q, opts.Capacity)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Algorithm 1 lines 22-23: intra-DBC optimization only on the
+	// non-disjoint DBCs; the disjoint DBCs keep access order.
+	p := ApplyIntra(r.Placement, r.DisjointDBCs, q, d.intra, s, a)
+	c, err := ShiftCost(s, p)
+	return p, c, err
+}
+
+// ga is the paper's µ+λ genetic algorithm.
+type ga struct{}
+
+func (ga) Name() string { return string(StrategyGA) }
+
+func (ga) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
+	cfg := opts.GA
+	if cfg.Mu == 0 {
+		cfg = DefaultGAConfig()
+	}
+	cfg.Capacity = opts.Capacity
+	if len(cfg.Seeds) == 0 && !opts.DisableGASeeding {
+		seeds, err := heuristicSeeds(s, q, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg.Seeds = seeds
+	}
+	res, err := GA(s, q, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Best, res.Cost, nil
+}
+
+// rw is the random-walk search baseline.
+type rw struct{}
+
+func (rw) Name() string { return string(StrategyRW) }
+
+func (rw) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
+	cfg := opts.RW
+	if cfg.Iterations == 0 {
+		cfg = DefaultRWConfig()
+	}
+	cfg.Capacity = opts.Capacity
+	return RandomWalk(s, q, cfg)
+}
+
+func init() {
+	MustRegister(afdOFU{})
+	MustRegister(dma{id: StrategyDMAOFU, intra: OFU})
+	MustRegister(dma{id: StrategyDMAChen, intra: Chen})
+	MustRegister(dma{id: StrategyDMASR, intra: ShiftsReduce})
+	MustRegister(ga{})
+	MustRegister(rw{})
+}

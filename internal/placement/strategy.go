@@ -56,70 +56,15 @@ type Options struct {
 }
 
 // Place runs the named strategy on the sequence with q DBCs and returns
-// the resulting placement and its shift cost.
+// the resulting placement and its shift cost. It is a thin compatibility
+// wrapper over the strategy registry: every registered strategy — the six
+// paper strategies and any plugged-in ones — is reachable by name.
 func Place(id StrategyID, s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
-	a := trace.Analyze(s)
-	switch id {
-	case StrategyAFDOFU:
-		p, err := AFD(a, q)
-		if err != nil {
-			return nil, 0, err
-		}
-		p = ApplyIntra(p, 0, q, OFU, s, a)
-		c, err := ShiftCost(s, p)
-		return p, c, err
-
-	case StrategyDMAOFU, StrategyDMAChen, StrategyDMASR:
-		r, err := DMA(a, q, opts.Capacity)
-		if err != nil {
-			return nil, 0, err
-		}
-		var h IntraHeuristic
-		switch id {
-		case StrategyDMAOFU:
-			h = OFU
-		case StrategyDMAChen:
-			h = Chen
-		default:
-			h = ShiftsReduce
-		}
-		// Algorithm 1 lines 22-23: intra-DBC optimization only on the
-		// non-disjoint DBCs; the disjoint DBCs keep access order.
-		p := ApplyIntra(r.Placement, r.DisjointDBCs, q, h, s, a)
-		c, err := ShiftCost(s, p)
-		return p, c, err
-
-	case StrategyGA:
-		cfg := opts.GA
-		if cfg.Mu == 0 {
-			cfg = DefaultGAConfig()
-		}
-		cfg.Capacity = opts.Capacity
-		if len(cfg.Seeds) == 0 && !opts.DisableGASeeding {
-			seeds, err := heuristicSeeds(s, q, opts)
-			if err != nil {
-				return nil, 0, err
-			}
-			cfg.Seeds = seeds
-		}
-		res, err := GA(s, q, cfg)
-		if err != nil {
-			return nil, 0, err
-		}
-		return res.Best, res.Cost, nil
-
-	case StrategyRW:
-		cfg := opts.RW
-		if cfg.Iterations == 0 {
-			cfg = DefaultRWConfig()
-		}
-		cfg.Capacity = opts.Capacity
-		p, c, err := RandomWalk(s, q, cfg)
-		return p, c, err
-
-	default:
+	st, ok := LookupStrategy(id)
+	if !ok {
 		return nil, 0, fmt.Errorf("placement: unknown strategy %q", id)
 	}
+	return st.Place(s, q, opts)
 }
 
 // heuristicSeeds produces the heuristic placements used to seed the GA.

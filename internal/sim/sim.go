@@ -131,6 +131,18 @@ func StrategyPlacer(id placement.StrategyID, opts placement.Options) Placer {
 	}
 }
 
+// RunCell places one sequence with the named registry strategy and
+// replays it on the device: the unit of work of one experiment cell
+// (sequence × strategy × DBC count). The engine package fans cells out
+// over a worker pool; see DESIGN.md §4.
+func RunCell(cfg Config, s *trace.Sequence, id placement.StrategyID, opts placement.Options) (Result, error) {
+	p, _, err := placement.Place(id, s, cfg.Geometry.DBCs(), opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunSequence(cfg, s, p)
+}
+
 // RunBenchmark places and replays every sequence of a benchmark,
 // accumulating the totals. Each sequence is an independent placement
 // problem, as in the offset-assignment literature the paper builds on.

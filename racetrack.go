@@ -31,11 +31,13 @@
 package racetrack
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/frontend"
 	"repro/internal/offsetstone"
 	"repro/internal/placement"
@@ -65,8 +67,42 @@ const (
 	RW = placement.StrategyRW
 )
 
-// Strategies lists all available strategies in the paper's order.
+// Strategies lists the six paper strategies in the paper's order.
 func Strategies() []Strategy { return placement.AllStrategies() }
+
+// RegisteredStrategies lists every strategy resolvable by name: the six
+// paper strategies first, then plugged-in strategies (including the
+// built-in "DMA-2opt" extension registered below).
+func RegisteredStrategies() []Strategy { return placement.Registered() }
+
+// StrategyOptions carries the per-strategy tuning knobs (capacity, GA/RW
+// parameters) passed to every strategy, including custom ones.
+type StrategyOptions = placement.Options
+
+// RegisterStrategy plugs a custom placement strategy into the process-wide
+// registry under the given name. Once registered, the strategy is
+// resolvable everywhere a Strategy name is accepted: PlaceTrace,
+// PlaceBenchmark, SimulateBenchmark, the experiment drivers and the CLI
+// tools. fn must be safe for concurrent use (the experiment engine calls
+// it from multiple workers) and deterministic for a fixed input if
+// reproducible experiments are desired. Registration fails on an empty or
+// already-taken name.
+func RegisterStrategy(name string, fn func(s *Sequence, q int, opts StrategyOptions) (*Placement, int64, error)) error {
+	return placement.Register(placement.NewStrategy(name, fn))
+}
+
+// DMA2Opt is the two-opt-refined DMA strategy (DMA inter-DBC placement,
+// ShiftsReduce + 2-opt local search on the non-disjoint DBCs). It is not
+// part of the paper's evaluation; it is registered through
+// RegisterStrategy — the same hook available to external code — and never
+// costs more shifts than DMASR.
+const DMA2Opt Strategy = "DMA-2opt"
+
+func init() {
+	if err := RegisterStrategy(string(DMA2Opt), placement.PlaceDMATwoOpt); err != nil {
+		panic(err)
+	}
+}
 
 // Sequence is an access sequence over named program variables.
 type Sequence = trace.Sequence
@@ -108,6 +144,14 @@ type PlaceOptions struct {
 	// RW overrides the random-walk parameters (zero value: the paper's
 	// 60 000 iterations).
 	RW placement.RWConfig
+	// Workers sizes the worker pool PlaceBenchmark fans sequences out on
+	// (0 or 1 = sequential). Results are deterministic regardless.
+	Workers int
+}
+
+// options lowers PlaceOptions to the per-strategy knobs.
+func (o PlaceOptions) options() StrategyOptions {
+	return StrategyOptions{Capacity: o.Capacity, GA: o.GA, RW: o.RW}
 }
 
 // PlaceResult is the outcome of a placement run.
@@ -120,6 +164,24 @@ type PlaceResult struct {
 	PerDBC []int64
 }
 
+// placeOne runs one strategy on one sequence and attributes the cost per
+// DBC, asserting that the strategy's reported cost agrees with the cost
+// model (a mismatch means a buggy — typically custom — strategy).
+func placeOne(s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
+	p, c, err := placement.Place(opts.Strategy, s, opts.DBCs, opts.options())
+	if err != nil {
+		return nil, err
+	}
+	b, err := placement.ShiftCostBreakdown(s, p)
+	if err != nil {
+		return nil, err
+	}
+	if b.Total != c {
+		return nil, fmt.Errorf("racetrack: strategy %s reported %d shifts but the cost model attributes %d", opts.Strategy, c, b.Total)
+	}
+	return &PlaceResult{Placement: p, Shifts: b.Total, PerDBC: b.PerDBC}, nil
+}
+
 // PlaceTrace computes a placement for one access sequence.
 func PlaceTrace(s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
 	if opts.Strategy == "" {
@@ -128,18 +190,46 @@ func PlaceTrace(s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
 	if opts.DBCs == 0 {
 		opts.DBCs = 4
 	}
-	p, c, err := placement.Place(opts.Strategy, s, opts.DBCs, placement.Options{
-		Capacity: opts.Capacity, GA: opts.GA, RW: opts.RW,
-	})
-	if err != nil {
-		return nil, err
+	return placeOne(s, opts)
+}
+
+// BenchmarkPlaceResult is the outcome of placing every sequence of a
+// benchmark: one PlaceResult per sequence, in benchmark order, plus the
+// total shift count.
+type BenchmarkPlaceResult struct {
+	Benchmark *Benchmark
+	Results   []*PlaceResult
+	// TotalShifts sums the per-sequence shift costs (each sequence is an
+	// independent placement problem).
+	TotalShifts int64
+}
+
+// PlaceBenchmark places every sequence of the benchmark with the selected
+// strategy, fanning the sequences out on the shared experiment engine
+// when opts.Workers > 1. The results are identical for any worker count.
+func PlaceBenchmark(b *Benchmark, opts PlaceOptions) (*BenchmarkPlaceResult, error) {
+	if opts.Strategy == "" {
+		opts.Strategy = DMAOFU
 	}
-	b, err := placement.ShiftCostBreakdown(s, p)
-	if err != nil {
-		return nil, err
+	if opts.DBCs == 0 {
+		opts.DBCs = 4
 	}
-	_ = c
-	return &PlaceResult{Placement: p, Shifts: b.Total, PerDBC: b.PerDBC}, nil
+	results, err := engine.Map(context.Background(), len(b.Sequences), opts.Workers,
+		func(_ context.Context, i int) (*PlaceResult, error) {
+			r, err := placeOne(b.Sequences[i], opts)
+			if err != nil {
+				return nil, fmt.Errorf("sequence %d: %w", i, err)
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("racetrack: place benchmark %s: %w", b.Name, err)
+	}
+	res := &BenchmarkPlaceResult{Benchmark: b, Results: results}
+	for _, r := range results {
+		res.TotalShifts += r.Shifts
+	}
+	return res, nil
 }
 
 // DeviceConfig describes a simulated RTM device.
@@ -164,9 +254,7 @@ func Simulate(dev DeviceConfig, s *Sequence, p *Placement) (SimResult, error) {
 // SimulateBenchmark places (with the given strategy) and replays every
 // sequence of a benchmark, accumulating totals.
 func SimulateBenchmark(dev DeviceConfig, b *Benchmark, strategy Strategy, opts PlaceOptions) (SimResult, error) {
-	return sim.RunBenchmark(dev, b, sim.StrategyPlacer(strategy, placement.Options{
-		Capacity: opts.Capacity, GA: opts.GA, RW: opts.RW,
-	}))
+	return sim.RunBenchmark(dev, b, sim.StrategyPlacer(strategy, opts.options()))
 }
 
 // EnergyParams exposes the Table I row for a DBC count.

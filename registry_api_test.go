@@ -1,0 +1,127 @@
+package racetrack
+
+import (
+	"testing"
+)
+
+// TestRegisterStrategyPublicHook registers a strategy through the public
+// hook and resolves it everywhere strategies are accepted by name.
+func TestRegisterStrategyPublicHook(t *testing.T) {
+	name := "api-test-identity"
+	err := RegisterStrategy(name, func(s *Sequence, q int, opts StrategyOptions) (*Placement, int64, error) {
+		// Everything into DBC 0 in first-use order.
+		p := &Placement{DBC: make([][]int, q)}
+		seen := map[int]bool{}
+		for _, a := range s.Accesses {
+			if !seen[a.Var] {
+				seen[a.Var] = true
+				p.DBC[0] = append(p.DBC[0], a.Var)
+			}
+		}
+		c, err := ShiftCost(s, p)
+		return p, c, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterStrategy(name, nil); err == nil {
+		t.Fatal("duplicate public registration accepted")
+	}
+
+	s, err := ParseSequence("a b a b c c a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PlaceTrace(s, PlaceOptions{Strategy: Strategy(name), DBCs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement.NumPlaced() != 3 {
+		t.Fatalf("placed %d vars, want 3", res.Placement.NumPlaced())
+	}
+	if len(res.Placement.DBC[0]) != 3 {
+		t.Fatalf("custom strategy not used: %s", res.Placement)
+	}
+
+	found := false
+	for _, id := range RegisteredStrategies() {
+		if id == Strategy(name) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("custom strategy missing from RegisteredStrategies")
+	}
+}
+
+// TestDMA2OptRegistered checks the built-in extension strategy works via
+// name dispatch and never loses to DMA-SR.
+func TestDMA2OptRegistered(t *testing.T) {
+	b, err := GenerateBenchmark("gsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range b.Sequences[:2] {
+		sr, err := PlaceTrace(s, PlaceOptions{Strategy: DMASR, DBCs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		two, err := PlaceTrace(s, PlaceOptions{Strategy: DMA2Opt, DBCs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if two.Shifts > sr.Shifts {
+			t.Errorf("DMA-2opt %d > DMA-SR %d", two.Shifts, sr.Shifts)
+		}
+	}
+}
+
+// TestPlaceBenchmarkParallelDeterministic: PlaceBenchmark must agree with
+// per-sequence PlaceTrace and be identical for any worker count.
+func TestPlaceBenchmarkParallelDeterministic(t *testing.T) {
+	b, err := GenerateBenchmark("adpcm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := PlaceBenchmark(b, PlaceOptions{Strategy: DMASR, DBCs: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := PlaceBenchmark(b, PlaceOptions{Strategy: DMASR, DBCs: 4, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.TotalShifts != eight.TotalShifts {
+		t.Fatalf("totals differ: %d vs %d", one.TotalShifts, eight.TotalShifts)
+	}
+	if len(one.Results) != len(b.Sequences) || len(eight.Results) != len(b.Sequences) {
+		t.Fatalf("result counts: %d, %d, want %d", len(one.Results), len(eight.Results), len(b.Sequences))
+	}
+	var sum int64
+	for i, s := range b.Sequences {
+		if !one.Results[i].Placement.Equal(eight.Results[i].Placement) {
+			t.Errorf("sequence %d: placements differ across worker counts", i)
+		}
+		single, err := PlaceTrace(s, PlaceOptions{Strategy: DMASR, DBCs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Shifts != one.Results[i].Shifts {
+			t.Errorf("sequence %d: PlaceTrace %d vs PlaceBenchmark %d", i, single.Shifts, one.Results[i].Shifts)
+		}
+		sum += one.Results[i].Shifts
+	}
+	if sum != one.TotalShifts {
+		t.Fatalf("TotalShifts %d != sum %d", one.TotalShifts, sum)
+	}
+}
+
+func TestPlaceBenchmarkUnknownStrategy(t *testing.T) {
+	b, err := ParseBenchmark("demo", "seq f\na b a\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlaceBenchmark(b, PlaceOptions{Strategy: "no-such", DBCs: 2}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
