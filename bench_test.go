@@ -487,6 +487,33 @@ func BenchmarkCycleSimSerialized(b *testing.B) {
 	b.SetBytes(int64(seq.Len()))
 }
 
+// BenchmarkGALocalImprove compares the paper's GA against the memetic
+// variant with the delta-evaluated local-improvement mutation enabled
+// (GAConfig.ImproveWeight, the "GA-2opt" registry strategy) at the same
+// generation budget: shifts should drop for a modest ns/op premium.
+func BenchmarkGALocalImprove(b *testing.B) {
+	seq := ablationWorkload(b)
+	for _, mode := range []struct {
+		name    string
+		improve int
+	}{{"off", 0}, {"on", 3}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cost int64
+			for i := 0; i < b.N; i++ {
+				cfg := gaBase(int64(i) + 1)
+				cfg.ImproveWeight = mode.improve
+				_, c, err := placement.Place(placement.StrategyGA, seq, 4,
+					placement.Options{GA: cfg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = c
+			}
+			b.ReportMetric(float64(cost), "shifts")
+		})
+	}
+}
+
 func BenchmarkGAGeneration(b *testing.B) {
 	seq := ablationWorkload(b)
 	cfg := gaBase(1)

@@ -1,0 +1,239 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// benchmark snapshot and gates performance regressions against a
+// committed baseline. It is the tooling behind CI's bench job (see
+// .github/workflows/ci.yml): every run emits BENCH_pr<N>.json as an
+// artifact and fails the job when a benchmark's ns/op regresses more than
+// the tolerance over BENCH_baseline.json.
+//
+// Usage:
+//
+//	go test -bench=... -benchtime=1x -count=3 ./... | benchjson -o BENCH_pr2.json
+//	benchjson -compare -baseline BENCH_baseline.json -current BENCH_pr2.json -tolerance 0.20
+//
+// With -count > 1 the snapshot keeps the minimum ns/op per benchmark (the
+// steadiest estimate under scheduler noise); non-timing metrics emitted
+// via b.ReportMetric (shifts, hit%, ...) are deterministic in this
+// repository, so the last observation is kept.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the JSON schema: benchmark name → unit → value.
+type Snapshot struct {
+	Schema     string                        `json:"schema"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+const schemaID = "rtm-bench/v1"
+
+func main() {
+	var (
+		out       = flag.String("o", "", "write the JSON snapshot to this file (default stdout)")
+		compare   = flag.Bool("compare", false, "compare -current against -baseline instead of parsing")
+		baseline  = flag.String("baseline", "", "baseline snapshot for -compare")
+		current   = flag.String("current", "", "current snapshot for -compare")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression before failing")
+	)
+	flag.Parse()
+
+	if *compare {
+		if *baseline == "" || *current == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare requires -baseline and -current")
+			os.Exit(2)
+		}
+		base, err := readSnapshot(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := readSnapshot(*current)
+		if err != nil {
+			fatal(err)
+		}
+		report, failed := Compare(base, cur, *tolerance)
+		fmt.Print(report)
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	snap, err := Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(2)
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != schemaID {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, s.Schema, schemaID)
+	}
+	return &s, nil
+}
+
+// Parse reads `go test -bench` output and aggregates benchmark lines into
+// a snapshot. Benchmark lines look like
+//
+//	BenchmarkTwoOptDelta-8    1    20335708 ns/op    53147 shifts
+//
+// i.e. name-GOMAXPROCS, iteration count, then (value, unit) pairs. The
+// GOMAXPROCS suffix is stripped so snapshots compare across machines.
+func Parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Schema: schemaID, Benchmarks: map[string]map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: some other Benchmark-prefixed line
+		}
+		name := trimProcs(fields[0])
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // trailing non-measurement columns
+			}
+			unit := fields[i+1]
+			m := snap.Benchmarks[name]
+			if m == nil {
+				m = map[string]float64{}
+				snap.Benchmarks[name] = m
+			}
+			if prev, seen := m[unit]; seen && unit == "ns/op" && prev <= val {
+				continue // keep the minimum timing across -count runs
+			}
+			m[unit] = val
+		}
+	}
+	return snap, sc.Err()
+}
+
+// trimProcs strips the -GOMAXPROCS suffix go test appends to benchmark
+// names (Benchmark/sub-8 → Benchmark/sub).
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Compare checks every baseline benchmark against the current snapshot:
+// a missing benchmark or an ns/op regression beyond the tolerance fails.
+// Benchmarks only present in the current snapshot are reported but never
+// fail (new benchmarks land before their baseline entry). Non-timing
+// units are reported informationally.
+func Compare(base, cur *Snapshot, tolerance float64) (string, bool) {
+	var b strings.Builder
+	failed := false
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(&b, "benchmark comparison (tolerance %+.0f%% ns/op)\n", 100*tolerance)
+	for _, name := range names {
+		bm := base.Benchmarks[name]
+		cm, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(&b, "  FAIL %-48s missing from current run\n", name)
+			failed = true
+			continue
+		}
+		baseNs, hasBase := bm["ns/op"]
+		curNs, hasCur := cm["ns/op"]
+		switch {
+		case !hasBase || !hasCur:
+			fmt.Fprintf(&b, "  ok   %-48s (no ns/op to compare)\n", name)
+		case baseNs <= 0:
+			fmt.Fprintf(&b, "  ok   %-48s (degenerate baseline %.0f ns/op)\n", name, baseNs)
+		default:
+			ratio := curNs / baseNs
+			verdict := "ok  "
+			if ratio > 1+tolerance {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Fprintf(&b, "  %s %-48s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+				verdict, name, baseNs, curNs, 100*(ratio-1))
+		}
+		for _, unit := range sortedUnits(bm) {
+			if unit == "ns/op" {
+				continue
+			}
+			if cv, ok := cm[unit]; ok && cv != bm[unit] {
+				fmt.Fprintf(&b, "       %-48s %s drifted %g -> %g\n", name, unit, bm[unit], cv)
+			}
+		}
+	}
+	var fresh []string
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		fmt.Fprintf(&b, "  new  %-48s (not in baseline)\n", name)
+	}
+	if failed {
+		b.WriteString("FAIL: benchmark regression over baseline — investigate, or refresh BENCH_baseline.json if the change is intended\n")
+	} else {
+		b.WriteString("PASS: no benchmark regressions over baseline\n")
+	}
+	return b.String(), failed
+}
+
+func sortedUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro/internal/placement
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTwoOptFull-8       	       1	1219475622 ns/op	     53147 shifts
+BenchmarkTwoOptDelta-8      	       1	  20335708 ns/op	     53147 shifts
+BenchmarkTwoOptDelta-8      	       1	  19000000 ns/op	     53147 shifts
+BenchmarkTwoOptDelta-8      	       1	  21000000 ns/op	     53147 shifts
+BenchmarkGALocalImprove/off-8    	       1	   7641220 ns/op	       144.0 shifts
+BenchmarkGALocalImprove/on-8     	       1	   5748466 ns/op	       140.0 shifts
+PASS
+ok  	repro/internal/placement	1.247s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != schemaID {
+		t.Errorf("schema %q", snap.Schema)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	// -count aggregation keeps the minimum ns/op.
+	delta := snap.Benchmarks["BenchmarkTwoOptDelta"]
+	if delta["ns/op"] != 19000000 {
+		t.Errorf("ns/op %v, want min 19000000", delta["ns/op"])
+	}
+	if delta["shifts"] != 53147 {
+		t.Errorf("shifts %v, want 53147", delta["shifts"])
+	}
+	// Sub-benchmark names keep the slash path, lose the -GOMAXPROCS.
+	if _, ok := snap.Benchmarks["BenchmarkGALocalImprove/on"]; !ok {
+		t.Errorf("missing sub-benchmark: %v", snap.Benchmarks)
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":      "BenchmarkFoo",
+		"BenchmarkFoo/sub-16": "BenchmarkFoo/sub",
+		"BenchmarkFoo":        "BenchmarkFoo",
+		"BenchmarkFoo-bar":    "BenchmarkFoo-bar",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func snapOf(entries map[string]map[string]float64) *Snapshot {
+	return &Snapshot{Schema: schemaID, Benchmarks: entries}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := snapOf(map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 1000, "shifts": 50},
+	})
+	cur := snapOf(map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 1150, "shifts": 50},
+		"BenchmarkB": {"ns/op": 99999},
+	})
+	report, failed := Compare(base, cur, 0.20)
+	if failed {
+		t.Fatalf("15%% regression at 20%% tolerance failed:\n%s", report)
+	}
+	if !strings.Contains(report, "new  BenchmarkB") {
+		t.Errorf("new benchmark not reported:\n%s", report)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	base := snapOf(map[string]map[string]float64{"BenchmarkA": {"ns/op": 1000}})
+	cur := snapOf(map[string]map[string]float64{"BenchmarkA": {"ns/op": 1201}})
+	report, failed := Compare(base, cur, 0.20)
+	if !failed {
+		t.Fatalf("20.1%% regression at 20%% tolerance passed:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL BenchmarkA") {
+		t.Errorf("regressed benchmark not named:\n%s", report)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := snapOf(map[string]map[string]float64{"BenchmarkGone": {"ns/op": 1000}})
+	cur := snapOf(map[string]map[string]float64{})
+	report, failed := Compare(base, cur, 0.20)
+	if !failed {
+		t.Fatalf("missing benchmark passed:\n%s", report)
+	}
+	if !strings.Contains(report, "missing from current run") {
+		t.Errorf("missing benchmark not reported:\n%s", report)
+	}
+}
+
+func TestCompareReportsMetricDrift(t *testing.T) {
+	base := snapOf(map[string]map[string]float64{"BenchmarkA": {"ns/op": 1000, "shifts": 50}})
+	cur := snapOf(map[string]map[string]float64{"BenchmarkA": {"ns/op": 1000, "shifts": 60}})
+	report, failed := Compare(base, cur, 0.20)
+	if failed {
+		t.Fatalf("metric drift alone must not fail:\n%s", report)
+	}
+	if !strings.Contains(report, "drifted 50 -> 60") {
+		t.Errorf("shifts drift not reported:\n%s", report)
+	}
+}

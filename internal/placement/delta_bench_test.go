@@ -1,0 +1,73 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/offsetstone"
+	"repro/internal/trace"
+)
+
+// twoOptBenchWorkload generates a single large OffsetStone-style sequence
+// — at least 64 variables and 10k accesses in one DBC — sized so the
+// seed's O(m)-per-move recompute is visibly the bottleneck. The profile
+// mirrors the suite's loop-heavy DSP shapes at ~4x the largest catalog
+// sequence length.
+func twoOptBenchWorkload(b *testing.B) (*trace.Sequence, []int, *trace.Analysis) {
+	b.Helper()
+	bench := offsetstone.GenerateProfile(offsetstone.Profile{
+		Name: "twoopt-xl", Sequences: 1,
+		MinVars: 96, MaxVars: 96,
+		MinLen: 12000, MaxLen: 12000,
+		Phases: 3, Loopiness: 0.6, HotFraction: 0.1, WriteFraction: 0.25,
+	})
+	s := bench.Sequences[0]
+	a := trace.Analyze(s)
+	vars := a.ByFirstUse()
+	if s.Len() < 10000 || len(vars) < 64 {
+		b.Fatalf("workload too small: %d accesses over %d variables", s.Len(), len(vars))
+	}
+	return s, vars, a
+}
+
+// BenchmarkTwoOptFull measures the seed implementation (full restricted
+// recompute per candidate move), kept as the test-only reference.
+func BenchmarkTwoOptFull(b *testing.B) {
+	s, vars, a := twoOptBenchWorkload(b)
+	b.ResetTimer()
+	var out []int
+	for i := 0; i < b.N; i++ {
+		out = twoOptReference(vars, s, a)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fullRestrictedCost(b, s, out)), "shifts")
+}
+
+// BenchmarkTwoOptDelta measures the delta-evaluated rewrite on the
+// identical workload and start order; the acceptance bar is ≥5x faster
+// than BenchmarkTwoOptFull (TestTwoOptMatchesReference pins that both
+// return the same order, so the comparison is move-for-move fair).
+func BenchmarkTwoOptDelta(b *testing.B) {
+	s, vars, a := twoOptBenchWorkload(b)
+	b.ResetTimer()
+	var out []int
+	for i := 0; i < b.N; i++ {
+		out = TwoOpt(vars, s, a)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fullRestrictedCost(b, s, out)), "shifts")
+}
+
+// BenchmarkTwoOptDeltaSetup isolates the once-per-DBC evaluator
+// construction (transition aggregation + CSR build) from the per-move
+// cost.
+func BenchmarkTwoOptDeltaSetup(b *testing.B) {
+	s, vars, _ := twoOptBenchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewDeltaEvaluator(s, vars)
+		if e.Accesses() == 0 {
+			b.Fatal("empty evaluator")
+		}
+	}
+	b.SetBytes(int64(s.Len()))
+}

@@ -1,0 +1,196 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// fullRestrictedCost is the reference objective: the intra-DBC shift cost
+// of the sequence restricted to the order's variables, recomputed from
+// scratch through the production ShiftCost path.
+func fullRestrictedCost(t testing.TB, s *trace.Sequence, order []int) int64 {
+	t.Helper()
+	member := membership(order, s.NumVars())
+	r := s.Restrict(func(v int) bool { return v < len(member) && member[v] })
+	c, err := ShiftCost(r, &Placement{DBC: [][]int{order}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Property: across random sequences, random member subsets and random
+// swap/reversal move chains, the incremental cost is bit-identical to the
+// full recompute, and each predicted delta matches the realized change.
+func TestDeltaEvaluatorParityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		numVars := 4 + rng.Intn(36)
+		s := randSeq(rng, numVars, 30+rng.Intn(370))
+
+		// Order over a random subset (sometimes everything) so the
+		// non-member-transparency path is exercised too.
+		perm := rng.Perm(numVars)
+		k := 3 + rng.Intn(numVars-2)
+		order := perm[:k]
+
+		e := NewDeltaEvaluator(s, order)
+		want := fullRestrictedCost(t, s, order)
+		if e.Cost() != want {
+			t.Fatalf("trial %d: setup cost %d, full recompute %d", trial, e.Cost(), want)
+		}
+
+		for move := 0; move < 120; move++ {
+			i, j := rng.Intn(k), rng.Intn(k)
+			if i > j {
+				i, j = j, i
+			}
+			before := e.Cost()
+			var predicted int64
+			if rng.Intn(2) == 0 {
+				predicted = e.SwapDelta(i, j)
+				e.Swap(i, j)
+			} else {
+				predicted = e.ReverseDelta(i, j)
+				e.Reverse(i, j)
+			}
+			if got := e.Cost() - before; got != predicted {
+				t.Fatalf("trial %d move %d [%d,%d]: predicted delta %d, applied %d",
+					trial, move, i, j, predicted, got)
+			}
+			want := fullRestrictedCost(t, s, e.CurrentOrder())
+			if e.Cost() != want {
+				t.Fatalf("trial %d move %d [%d,%d]: incremental cost %d, full recompute %d",
+					trial, move, i, j, e.Cost(), want)
+			}
+		}
+	}
+}
+
+// The rewritten TwoOpt must follow the seed implementation's search
+// trajectory move-for-move: identical returned orders, not merely equal
+// costs.
+func TestTwoOptMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 50; trial++ {
+		numVars := 3 + rng.Intn(11)
+		s := randSeq(rng, numVars, 20+rng.Intn(230))
+		a := trace.Analyze(s)
+		vars := a.ByFirstUse()
+		if len(vars) < 3 {
+			continue
+		}
+		rng.Shuffle(len(vars), func(i, j int) { vars[i], vars[j] = vars[j], vars[i] })
+
+		got := TwoOpt(vars, s, a)
+		want := twoOptReference(vars, s, a)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length %d vs %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: orders diverge at offset %d:\n got %v\nwant %v",
+					trial, i, got, want)
+			}
+		}
+	}
+}
+
+// TwoOpt must also keep matching the reference when the DBC holds only a
+// subset of the accessed variables (the ApplyIntra path).
+func TestTwoOptMatchesReferenceOnSubsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 30; trial++ {
+		numVars := 6 + rng.Intn(10)
+		s := randSeq(rng, numVars, 40+rng.Intn(160))
+		perm := rng.Perm(numVars)
+		k := 3 + rng.Intn(numVars-3)
+		vars := perm[:k]
+		a := trace.Analyze(s)
+
+		got := TwoOpt(vars, s, a)
+		want := twoOptReference(vars, s, a)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: orders diverge at offset %d:\n got %v\nwant %v",
+					trial, i, got, want)
+			}
+		}
+	}
+}
+
+// After setup, move evaluation and application must not allocate.
+func TestDeltaEvaluatorAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	s := randSeq(rng, 24, 600)
+	a := trace.Analyze(s)
+	order := a.ByFirstUse()
+	if len(order) < 8 {
+		t.Fatal("workload too small")
+	}
+	e := NewDeltaEvaluator(s, order)
+	n := e.Len()
+	allocs := testing.AllocsPerRun(50, func() {
+		e.SwapDelta(0, n-1)
+		e.Swap(1, n-2)
+		e.ReverseDelta(1, n/2)
+		e.Reverse(2, n-3)
+		e.ImprovePass()
+	})
+	if allocs != 0 {
+		t.Errorf("move evaluation allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestDeltaEvaluatorEdgeCases(t *testing.T) {
+	s := trace.NewSequence(0, 1, 2, 0, 1)
+
+	e := NewDeltaEvaluator(s, nil)
+	if e.Cost() != 0 || e.Accesses() != 0 || e.Len() != 0 {
+		t.Errorf("empty order: cost %d accesses %d len %d", e.Cost(), e.Accesses(), e.Len())
+	}
+
+	e = NewDeltaEvaluator(s, []int{1})
+	if e.Cost() != 0 {
+		t.Errorf("single variable: cost %d, want 0", e.Cost())
+	}
+	if e.Accesses() != 2 {
+		t.Errorf("single variable: accesses %d, want 2", e.Accesses())
+	}
+
+	// Self-transitions cost nothing and must not create edges.
+	selfy := trace.NewSequence(0, 0, 0, 1, 1, 0)
+	e = NewDeltaEvaluator(selfy, []int{0, 1})
+	if e.Cost() != 2 { // 0->1 and 1->0, distance 1 each
+		t.Errorf("self-transition sequence: cost %d, want 2", e.Cost())
+	}
+
+	// A variable in the order but never accessed is a zero-degree row.
+	e = NewDeltaEvaluator(s, []int{2, 1, 0})
+	want := fullRestrictedCost(t, s, []int{2, 1, 0})
+	if e.Cost() != want {
+		t.Errorf("full order: cost %d, want %d", e.Cost(), want)
+	}
+}
+
+// The worked example of the paper's Fig. 3 arithmetic, by hand: sequence
+// a b c a b with order [a b c] costs |0-1|+|1-2|+|2-0|+|0-1| = 5.
+func TestDeltaEvaluatorHandComputed(t *testing.T) {
+	s := trace.NewSequence(0, 1, 2, 0, 1)
+	e := NewDeltaEvaluator(s, []int{0, 1, 2})
+	if e.Cost() != 5 {
+		t.Fatalf("cost %d, want 5", e.Cost())
+	}
+	// Swapping offsets of b and c: order [a c b], cost
+	// |0-2|+|2-1|+|1-0|+|0-2| = 6, delta +1.
+	if d := e.SwapDelta(1, 2); d != 1 {
+		t.Fatalf("swap delta %d, want 1", d)
+	}
+	// Reversing [0,2] mirrors every offset: pairwise distances are all
+	// preserved, delta 0.
+	if d := e.ReverseDelta(0, 2); d != 0 {
+		t.Fatalf("full reversal delta %d, want 0", d)
+	}
+}

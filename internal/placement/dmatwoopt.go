@@ -7,6 +7,9 @@ import (
 // PlaceDMATwoOpt is the two-opt-refined DMA strategy: the paper's DMA
 // inter-DBC heuristic with a ShiftsReduce intra ordering on the
 // non-disjoint DBCs, polished by the TwoOpt local search (see twoopt.go).
+// Since the delta-evaluator rewrite the polish pass prices each candidate
+// move in O(freq) instead of replaying the DBC's restricted subsequence,
+// so the strategy stays affordable on long traces (BenchmarkTwoOptDelta).
 // TwoOpt can only keep or improve the intra cost, so this strategy is
 // never worse than DMA-SR on the cost model. It is not one of the paper's
 // six evaluated strategies; the racetrack package registers it as

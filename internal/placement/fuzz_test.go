@@ -1,0 +1,89 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzDeltaParity feeds arbitrary byte strings interpreted as (variable
+// universe, access sequence, move chain) and checks the incremental
+// DeltaEvaluator cost stays bit-identical to a full ShiftCost recompute
+// after every applied move, and that every predicted delta matches the
+// realized change. Run in CI's fuzz-smoke job.
+func FuzzDeltaParity(f *testing.F) {
+	f.Add([]byte{7, 2, 0, 1, 2, 3, 4, 5, 6, 7, 8, 0, 1, 2, 1, 0, 3})
+	f.Add([]byte{3, 0, 0, 1, 2, 0, 1, 2, 9, 9, 9, 2, 0, 1})
+	f.Add([]byte{12, 4, 1, 5, 9, 2, 6, 10, 3, 7, 11, 0, 4, 8, 250, 1, 7, 3, 2, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			t.Skip()
+		}
+		// Header: member count k in [3, 34], plus up to 5 extra
+		// non-member variables the sequence may also touch.
+		k := 3 + int(data[0]%32)
+		universe := k + int(data[1]%6)
+		body := data[2:]
+
+		// First half of the body emits accesses, second half emits moves.
+		half := len(body) / 2
+		seqBytes, moveBytes := body[:half], body[half:]
+		if len(seqBytes) < 2 {
+			t.Skip()
+		}
+		// Declare the universe explicitly so members the bytes never
+		// access still validate against the full ShiftCost path.
+		names := make([]string, universe)
+		for i := range names {
+			names[i] = "v" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		}
+		s := &trace.Sequence{Names: names}
+		for _, b := range seqBytes {
+			s.Append(int(b)%universe, false)
+		}
+
+		// Members are variables 0..k-1 in identity order; indices ≥ k
+		// exercise non-member transparency.
+		order := make([]int, k)
+		for i := range order {
+			order[i] = i
+		}
+
+		e := NewDeltaEvaluator(s, order)
+		full := func() int64 {
+			member := membership(e.CurrentOrder(), s.NumVars())
+			r := s.Restrict(func(v int) bool { return v < len(member) && member[v] })
+			c, err := ShiftCost(r, &Placement{DBC: [][]int{e.CurrentOrder()}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+		if got, want := e.Cost(), full(); got != want {
+			t.Fatalf("setup: incremental %d, full %d", got, want)
+		}
+
+		for m := 0; m+2 < len(moveBytes); m += 3 {
+			i := int(moveBytes[m+1]) % k
+			j := int(moveBytes[m+2]) % k
+			if i > j {
+				i, j = j, i
+			}
+			before := e.Cost()
+			var predicted int64
+			if moveBytes[m]%2 == 0 {
+				predicted = e.SwapDelta(i, j)
+				e.Swap(i, j)
+			} else {
+				predicted = e.ReverseDelta(i, j)
+				e.Reverse(i, j)
+			}
+			if got := e.Cost() - before; got != predicted {
+				t.Fatalf("move %d [%d,%d]: predicted delta %d, applied %d", m, i, j, predicted, got)
+			}
+			if got, want := e.Cost(), full(); got != want {
+				t.Fatalf("move %d [%d,%d]: incremental %d, full %d", m, i, j, got, want)
+			}
+		}
+	})
+}

@@ -31,6 +31,14 @@ type GAConfig struct {
 	MoveWeight      int
 	TransposeWeight int
 	PermuteWeight   int
+	// ImproveWeight, when positive, adds a fourth, memetic mutation
+	// operator to the weighted choice: one delta-evaluated 2-opt
+	// improvement sweep (DeltaEvaluator, delta.go) over the offset order
+	// of one random DBC. Each candidate move costs O(freq) instead of a
+	// full trace replay, so the operator is affordable inside the
+	// breeding loop. Not part of the paper's GA; 0 (the default)
+	// disables it. The "GA-2opt" registry strategy enables it.
+	ImproveWeight int
 	// Seed drives the deterministic PRNG.
 	Seed int64
 	// Seeds optionally injects heuristic placements into the initial
@@ -136,7 +144,7 @@ func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
 					break
 				}
 				if rng.Float64() < cfg.MutationRate {
-					mutate(rng, c, cfg)
+					mutate(rng, c, s, cfg)
 				}
 				offspring = append(offspring, individual{p: c})
 			}
@@ -308,11 +316,13 @@ func moveVar(p *Placement, v, from, to int) {
 	p.DBC[to] = append(p.DBC[to], v)
 }
 
-// mutate applies one of the paper's three mutation operators, chosen with
-// the configured weights: move a variable to the end of another DBC,
-// transpose two variables inside one DBC, or randomly permute every DBC.
-func mutate(rng *rand.Rand, p *Placement, cfg GAConfig) {
-	total := cfg.MoveWeight + cfg.TransposeWeight + cfg.PermuteWeight
+// mutate applies one of the paper's three mutation operators — move a
+// variable to the end of another DBC, transpose two variables inside one
+// DBC, or randomly permute every DBC — or, when ImproveWeight is positive,
+// the memetic local-improvement operator, chosen with the configured
+// weights.
+func mutate(rng *rand.Rand, p *Placement, s *trace.Sequence, cfg GAConfig) {
+	total := cfg.MoveWeight + cfg.TransposeWeight + cfg.PermuteWeight + cfg.ImproveWeight
 	if total <= 0 {
 		return
 	}
@@ -321,9 +331,34 @@ func mutate(rng *rand.Rand, p *Placement, cfg GAConfig) {
 		mutateMove(rng, p, cfg.Capacity)
 	case r < cfg.MoveWeight+cfg.TransposeWeight:
 		mutateTranspose(rng, p)
-	default:
+	case r < cfg.MoveWeight+cfg.TransposeWeight+cfg.PermuteWeight:
 		mutatePermute(rng, p)
+	default:
+		mutateImprove(rng, p, s)
 	}
+}
+
+// mutateImprove runs one first-improvement 2-opt sweep over the offset
+// order of one random DBC with at least three variables, evaluated
+// incrementally. It can only keep or lower the individual's fitness; the
+// GA's exploration pressure comes from the other operators.
+func mutateImprove(rng *rand.Rand, p *Placement, s *trace.Sequence) {
+	var eligible []int
+	for d, vars := range p.DBC {
+		if len(vars) >= 3 {
+			eligible = append(eligible, d)
+		}
+	}
+	if len(eligible) == 0 {
+		return
+	}
+	d := eligible[rng.Intn(len(eligible))]
+	e := NewDeltaEvaluator(s, p.DBC[d])
+	if e.Accesses() < 2 {
+		return
+	}
+	e.ImprovePass()
+	copy(p.DBC[d], e.CurrentOrder())
 }
 
 func mutateMove(rng *rand.Rand, p *Placement, capacity int) {

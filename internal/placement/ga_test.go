@@ -12,6 +12,47 @@ func quickGA(seed int64) GAConfig {
 		MutationRate: 0.5, MoveWeight: 10, TransposeWeight: 10, PermuteWeight: 3, Seed: seed}
 }
 
+// The memetic GA-2opt registry strategy must produce valid, deterministic
+// placements, and the local-improvement mutation itself must never raise
+// the cost of the DBC it polishes.
+func TestGAMemeticStrategy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := randSeq(rng, 12, 150)
+	opts := Options{GA: quickGA(7), DisableGASeeding: true}
+	p1, c1, err := Place(StrategyGAMemetic, s, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Validate(s, 0); err != nil {
+		t.Fatalf("GA-2opt produced invalid placement: %v", err)
+	}
+	p2, c2, err := Place(StrategyGAMemetic, s, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 || !p1.Equal(p2) {
+		t.Fatalf("GA-2opt not deterministic: %d vs %d", c1, c2)
+	}
+
+	for trial := 0; trial < 25; trial++ {
+		seq := randSeq(rng, 4+rng.Intn(10), 30+rng.Intn(100))
+		a := trace.Analyze(seq)
+		p := randomPlacement(rng, a.ByFirstUse(), 1+rng.Intn(3), 0)
+		before, err := ShiftCost(seq, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutateImprove(rng, p, seq)
+		after, err := ShiftCost(seq, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after > before {
+			t.Fatalf("trial %d: mutateImprove worsened %d -> %d", trial, before, after)
+		}
+	}
+}
+
 func TestGAFindsOptimumOnSmallInstances(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 8; trial++ {
@@ -161,6 +202,7 @@ func TestCrossoverPreservesValidity(t *testing.T) {
 func TestMutationsPreserveValidity(t *testing.T) {
 	rng := rand.New(rand.NewSource(55))
 	cfg := quickGA(1)
+	cfg.ImproveWeight = 2 // exercise the memetic operator too
 	for trial := 0; trial < 100; trial++ {
 		n := 1 + rng.Intn(10)
 		s := randSeq(rng, n, 15)
@@ -168,7 +210,7 @@ func TestMutationsPreserveValidity(t *testing.T) {
 		vars := a.ByFirstUse()
 		q := 1 + rng.Intn(4)
 		p := randomPlacement(rng, vars, q, 0)
-		mutate(rng, p, cfg)
+		mutate(rng, p, s, cfg)
 		if err := p.Validate(s, 0); err != nil {
 			t.Fatalf("trial %d: mutation broke placement: %v", trial, err)
 		}

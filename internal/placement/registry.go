@@ -153,17 +153,27 @@ func (d dma) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, e
 	return p, c, err
 }
 
-// ga is the paper's µ+λ genetic algorithm.
-type ga struct{}
+// ga is the paper's µ+λ genetic algorithm; with memetic == true it is the
+// "GA-2opt" variant with the delta-evaluated local-improvement mutation
+// enabled (GAConfig.ImproveWeight).
+type ga struct {
+	id      StrategyID
+	memetic bool
+}
 
-func (ga) Name() string { return string(StrategyGA) }
+func (g ga) Name() string { return string(g.id) }
 
-func (ga) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
+func (g ga) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
 	cfg := opts.GA
 	if cfg.Mu == 0 {
 		cfg = DefaultGAConfig()
 	}
 	cfg.Capacity = opts.Capacity
+	if g.memetic && cfg.ImproveWeight == 0 {
+		// Same order of magnitude as the paper's permute skew: rare
+		// enough to keep breeding cheap, frequent enough to polish.
+		cfg.ImproveWeight = 3
+	}
 	if len(cfg.Seeds) == 0 && !opts.DisableGASeeding {
 		seeds, err := heuristicSeeds(s, q, opts)
 		if err != nil {
@@ -177,6 +187,11 @@ func (ga) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, erro
 	}
 	return res.Best, res.Cost, nil
 }
+
+// StrategyGAMemetic is the memetic GA extension strategy ("GA-2opt"). Like
+// DMA-2opt it is not one of the paper's six evaluated strategies; it is
+// registered as a plugin so every by-name driver can reach it.
+const StrategyGAMemetic StrategyID = "GA-2opt"
 
 // rw is the random-walk search baseline.
 type rw struct{}
@@ -197,6 +212,7 @@ func init() {
 	MustRegister(dma{id: StrategyDMAOFU, intra: OFU})
 	MustRegister(dma{id: StrategyDMAChen, intra: Chen})
 	MustRegister(dma{id: StrategyDMASR, intra: ShiftsReduce})
-	MustRegister(ga{})
+	MustRegister(ga{id: StrategyGA})
 	MustRegister(rw{})
+	MustRegister(ga{id: StrategyGAMemetic, memetic: true})
 }

@@ -4,10 +4,14 @@ import (
 	"repro/internal/trace"
 )
 
+// maxTwoOptPasses bounds the number of improvement sweeps; local optima
+// are normally reached in far fewer.
+const maxTwoOptPasses = 24
+
 // TwoOpt is an intra-DBC local-search improver in the spirit of the
 // TSP view of offset assignment (Jünger & Mallach, the paper's ref [4]):
-// starting from any ordering, repeatedly apply the best of two move
-// families until a local optimum is reached:
+// starting from any ordering, repeatedly apply the first improving move of
+// two move families until a local optimum is reached:
 //
 //   - swap: exchange the offsets of two variables;
 //   - segment reversal: the classic 2-opt move, reversing a contiguous
@@ -16,76 +20,29 @@ import (
 // The objective evaluated is the true intra-DBC shift cost of the
 // DBC-restricted subsequence (not just the access-graph approximation),
 // so a TwoOpt pass can only improve or keep the cost of whatever
-// heuristic ran before it. Cost is O(passes * k^2 * m) for k variables
-// and m restricted accesses; intended as a polish pass after Chen or
+// heuristic ran before it.
+//
+// Moves are evaluated incrementally through DeltaEvaluator (delta.go):
+// after an O(m) setup per DBC, a candidate swap costs O(freq(u)+freq(v))
+// and a candidate reversal touches only boundary-crossing transitions,
+// instead of the seed's O(m) full recompute per candidate. The search
+// trajectory is identical to the seed implementation move-for-move
+// (TestTwoOptMatchesReference pins this against the reference kept in
+// twoopt_reference_test.go). Intended as a polish pass after Chen or
 // ShiftsReduce, and as the optional '+2opt' ablation in bench_test.go.
 func TwoOpt(vars []int, s *trace.Sequence, a *trace.Analysis) []int {
 	order := append([]int(nil), vars...)
 	if len(order) < 3 {
 		return order
 	}
-	member := membership(order, s.NumVars())
-	restricted := s.Restrict(func(v int) bool { return v < len(member) && member[v] })
-	if restricted.Len() < 2 {
+	e := NewDeltaEvaluator(s, order)
+	if e.Accesses() < 2 {
 		return order
 	}
-
-	pos := make([]int, s.NumVars())
-	cost := func() int64 {
-		for i, v := range order {
-			pos[v] = i
-		}
-		var total int64
-		prev := -1
-		for _, acc := range restricted.Accesses {
-			if prev >= 0 {
-				d := pos[acc.Var] - pos[prev]
-				if d < 0 {
-					d = -d
-				}
-				total += int64(d)
-			}
-			prev = acc.Var
-		}
-		return total
-	}
-
-	best := cost()
-	const maxPasses = 24
-	for pass := 0; pass < maxPasses; pass++ {
-		improved := false
-		for i := 0; i < len(order); i++ {
-			for j := i + 1; j < len(order); j++ {
-				// Try swap.
-				order[i], order[j] = order[j], order[i]
-				if c := cost(); c < best {
-					best = c
-					improved = true
-					continue
-				}
-				order[i], order[j] = order[j], order[i]
-
-				// Try reversal of [i, j].
-				reverse(order, i, j)
-				if c := cost(); c < best {
-					best = c
-					improved = true
-					continue
-				}
-				reverse(order, i, j)
-			}
-		}
-		if !improved {
+	for pass := 0; pass < maxTwoOptPasses; pass++ {
+		if !e.ImprovePass() {
 			break
 		}
 	}
-	return order
-}
-
-func reverse(s []int, i, j int) {
-	for i < j {
-		s[i], s[j] = s[j], s[i]
-		i++
-		j--
-	}
+	return e.CurrentOrder()
 }

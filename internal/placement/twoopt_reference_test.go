@@ -1,0 +1,82 @@
+package placement
+
+import (
+	"repro/internal/trace"
+)
+
+// twoOptReference is the seed TwoOpt implementation, kept verbatim as the
+// test-only oracle for the delta-evaluated rewrite: it recomputes the full
+// restricted-sequence cost (O(m), rebuilding the position array from
+// scratch) for every candidate move. TestTwoOptMatchesReference checks the
+// rewrite follows the same search trajectory move-for-move, and
+// BenchmarkTwoOptFull measures the cost of the recompute-everything
+// strategy the rewrite eliminates.
+func twoOptReference(vars []int, s *trace.Sequence, a *trace.Analysis) []int {
+	order := append([]int(nil), vars...)
+	if len(order) < 3 {
+		return order
+	}
+	member := membership(order, s.NumVars())
+	restricted := s.Restrict(func(v int) bool { return v < len(member) && member[v] })
+	if restricted.Len() < 2 {
+		return order
+	}
+
+	pos := make([]int, s.NumVars())
+	cost := func() int64 {
+		for i, v := range order {
+			pos[v] = i
+		}
+		var total int64
+		prev := -1
+		for _, acc := range restricted.Accesses {
+			if prev >= 0 {
+				d := pos[acc.Var] - pos[prev]
+				if d < 0 {
+					d = -d
+				}
+				total += int64(d)
+			}
+			prev = acc.Var
+		}
+		return total
+	}
+
+	best := cost()
+	for pass := 0; pass < maxTwoOptPasses; pass++ {
+		improved := false
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				// Try swap.
+				order[i], order[j] = order[j], order[i]
+				if c := cost(); c < best {
+					best = c
+					improved = true
+					continue
+				}
+				order[i], order[j] = order[j], order[i]
+
+				// Try reversal of [i, j].
+				reverse(order, i, j)
+				if c := cost(); c < best {
+					best = c
+					improved = true
+					continue
+				}
+				reverse(order, i, j)
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return order
+}
+
+func reverse(s []int, i, j int) {
+	for i < j {
+		s[i], s[j] = s[j], s[i]
+		i++
+		j--
+	}
+}
