@@ -514,10 +514,17 @@ func BenchmarkGALocalImprove(b *testing.B) {
 	}
 }
 
+// BenchmarkGAGeneration measures the steady-state cost of one GA
+// generation: the cost kernel is built once outside the timer, exactly
+// as the engine batch layer provides it to every GA cell in production
+// (the build amortizes over a run's hundreds of generations, not over
+// one).
 func BenchmarkGAGeneration(b *testing.B) {
 	seq := ablationWorkload(b)
 	cfg := gaBase(1)
 	cfg.Generations = 1
+	cfg.Kernel = placement.NewCostKernel(seq)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i) + 1

@@ -2,18 +2,23 @@
 // benchmark snapshot and gates performance regressions against a
 // committed baseline. It is the tooling behind CI's bench job (see
 // .github/workflows/ci.yml): every run emits BENCH_pr<N>.json as an
-// artifact and fails the job when a benchmark's ns/op regresses more than
-// the tolerance over BENCH_baseline.json.
+// artifact and fails the job when a benchmark's ns/op — or, with
+// -benchmem output present, allocs/op — regresses more than the
+// tolerance over BENCH_baseline.json.
 //
 // Usage:
 //
-//	go test -bench=... -benchtime=1x -count=3 ./... | benchjson -o BENCH_pr2.json
-//	benchjson -compare -baseline BENCH_baseline.json -current BENCH_pr2.json -tolerance 0.20
+//	go test -bench=... -benchtime=1x -count=3 -benchmem ./... | benchjson -o BENCH_pr3.json
+//	benchjson -compare -baseline BENCH_baseline.json -current BENCH_pr3.json -tolerance 0.20
 //
-// With -count > 1 the snapshot keeps the minimum ns/op per benchmark (the
-// steadiest estimate under scheduler noise); non-timing metrics emitted
-// via b.ReportMetric (shifts, hit%, ...) are deterministic in this
-// repository, so the last observation is kept.
+// With -count > 1 the snapshot keeps the minimum ns/op, B/op and
+// allocs/op per benchmark (the steadiest estimates under scheduler
+// noise); non-timing metrics emitted via b.ReportMetric (shifts, hit%,
+// ...) are deterministic in this repository, so the last observation is
+// kept. Alloc regressions gate because the repository's hot evaluation
+// paths are required to stay allocation-free in steady state (DESIGN.md
+// §8): a creeping allocs/op is a correctness-of-intent failure long
+// before it is a wall-clock one.
 package main
 
 import (
@@ -139,13 +144,20 @@ func Parse(r io.Reader) (*Snapshot, error) {
 				m = map[string]float64{}
 				snap.Benchmarks[name] = m
 			}
-			if prev, seen := m[unit]; seen && unit == "ns/op" && prev <= val {
-				continue // keep the minimum timing across -count runs
+			if prev, seen := m[unit]; seen && minUnit(unit) && prev <= val {
+				continue // keep the minimum across -count runs
 			}
 			m[unit] = val
 		}
 	}
 	return snap, sc.Err()
+}
+
+// minUnit reports whether a unit aggregates by minimum across -count
+// runs: timings and allocation counters, where the smallest observation
+// is the least scheduler/GC-noise-contaminated one.
+func minUnit(unit string) bool {
+	return unit == "ns/op" || unit == "B/op" || unit == "allocs/op"
 }
 
 // trimProcs strips the -GOMAXPROCS suffix go test appends to benchmark
@@ -162,10 +174,12 @@ func trimProcs(name string) string {
 }
 
 // Compare checks every baseline benchmark against the current snapshot:
-// a missing benchmark or an ns/op regression beyond the tolerance fails.
+// a missing benchmark, an ns/op regression beyond the tolerance, or an
+// allocs/op regression beyond the tolerance (plus a small absolute
+// slack for tiny counts; a zero-alloc baseline is a hard floor) fails.
 // Benchmarks only present in the current snapshot are reported but never
-// fail (new benchmarks land before their baseline entry). Non-timing
-// units are reported informationally.
+// fail (new benchmarks land before their baseline entry). Other units
+// are reported informationally.
 func Compare(base, cur *Snapshot, tolerance float64) (string, bool) {
 	var b strings.Builder
 	failed := false
@@ -176,7 +190,7 @@ func Compare(base, cur *Snapshot, tolerance float64) (string, bool) {
 	}
 	sort.Strings(names)
 
-	fmt.Fprintf(&b, "benchmark comparison (tolerance %+.0f%% ns/op)\n", 100*tolerance)
+	fmt.Fprintf(&b, "benchmark comparison (tolerance %+.0f%% ns/op and allocs/op)\n", 100*tolerance)
 	for _, name := range names {
 		bm := base.Benchmarks[name]
 		cm, ok := cur.Benchmarks[name]
@@ -202,8 +216,21 @@ func Compare(base, cur *Snapshot, tolerance float64) (string, bool) {
 			fmt.Fprintf(&b, "  %s %-48s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
 				verdict, name, baseNs, curNs, 100*(ratio-1))
 		}
+		if baseA, ok := bm["allocs/op"]; ok {
+			switch curA, ok := cm["allocs/op"]; {
+			case !ok:
+				// A baseline-gated unit that vanished (e.g. -benchmem
+				// dropped from the bench job) would silently disarm the
+				// gate; treat it like a missing benchmark.
+				fmt.Fprintf(&b, "  FAIL %-48s allocs/op gated in baseline but missing from current run\n", name)
+				failed = true
+			case allocRegressed(baseA, curA, tolerance):
+				fmt.Fprintf(&b, "  FAIL %-48s %12.0f -> %12.0f allocs/op\n", name, baseA, curA)
+				failed = true
+			}
+		}
 		for _, unit := range sortedUnits(bm) {
-			if unit == "ns/op" {
+			if unit == "ns/op" || unit == "allocs/op" || unit == "B/op" {
 				continue
 			}
 			if cv, ok := cm[unit]; ok && cv != bm[unit] {
@@ -227,6 +254,17 @@ func Compare(base, cur *Snapshot, tolerance float64) (string, bool) {
 		b.WriteString("PASS: no benchmark regressions over baseline\n")
 	}
 	return b.String(), failed
+}
+
+// allocRegressed applies the alloc gate: a zero-alloc baseline must stay
+// at zero; otherwise the count may grow by the fractional tolerance plus
+// a slack of 8 allocations (tiny counts jitter with map growth and GC
+// timing without signifying a real leak).
+func allocRegressed(base, cur, tolerance float64) bool {
+	if base == 0 {
+		return cur > 0
+	}
+	return cur > base*(1+tolerance)+8
 }
 
 func sortedUnits(m map[string]float64) []string {

@@ -10,9 +10,9 @@ goarch: amd64
 pkg: repro/internal/placement
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkTwoOptFull-8       	       1	1219475622 ns/op	     53147 shifts
-BenchmarkTwoOptDelta-8      	       1	  20335708 ns/op	     53147 shifts
-BenchmarkTwoOptDelta-8      	       1	  19000000 ns/op	     53147 shifts
-BenchmarkTwoOptDelta-8      	       1	  21000000 ns/op	     53147 shifts
+BenchmarkTwoOptDelta-8      	       1	  20335708 ns/op	     53147 shifts	    2048 B/op	      31 allocs/op
+BenchmarkTwoOptDelta-8      	       1	  19000000 ns/op	     53147 shifts	    2040 B/op	      30 allocs/op
+BenchmarkTwoOptDelta-8      	       1	  21000000 ns/op	     53147 shifts	    2048 B/op	      32 allocs/op
 BenchmarkGALocalImprove/off-8    	       1	   7641220 ns/op	       144.0 shifts
 BenchmarkGALocalImprove/on-8     	       1	   5748466 ns/op	       140.0 shifts
 PASS
@@ -30,10 +30,16 @@ func TestParse(t *testing.T) {
 	if len(snap.Benchmarks) != 4 {
 		t.Fatalf("parsed %d benchmarks, want 4: %v", len(snap.Benchmarks), snap.Benchmarks)
 	}
-	// -count aggregation keeps the minimum ns/op.
+	// -count aggregation keeps the minimum ns/op, B/op and allocs/op.
 	delta := snap.Benchmarks["BenchmarkTwoOptDelta"]
 	if delta["ns/op"] != 19000000 {
 		t.Errorf("ns/op %v, want min 19000000", delta["ns/op"])
+	}
+	if delta["allocs/op"] != 30 {
+		t.Errorf("allocs/op %v, want min 30", delta["allocs/op"])
+	}
+	if delta["B/op"] != 2040 {
+		t.Errorf("B/op %v, want min 2040", delta["B/op"])
 	}
 	if delta["shifts"] != 53147 {
 		t.Errorf("shifts %v, want 53147", delta["shifts"])
@@ -99,6 +105,46 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 	}
 	if !strings.Contains(report, "missing from current run") {
 		t.Errorf("missing benchmark not reported:\n%s", report)
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	base := snapOf(map[string]map[string]float64{"BenchmarkA": {"ns/op": 1000, "allocs/op": 100}})
+	cur := snapOf(map[string]map[string]float64{"BenchmarkA": {"ns/op": 1000, "allocs/op": 140}})
+	report, failed := Compare(base, cur, 0.20)
+	if !failed {
+		t.Fatalf("40%% alloc regression at 20%% tolerance passed:\n%s", report)
+	}
+	if !strings.Contains(report, "allocs/op") {
+		t.Errorf("alloc regression not named:\n%s", report)
+	}
+}
+
+func TestCompareAllocSlackForTinyCounts(t *testing.T) {
+	base := snapOf(map[string]map[string]float64{"BenchmarkA": {"ns/op": 1000, "allocs/op": 3}})
+	cur := snapOf(map[string]map[string]float64{"BenchmarkA": {"ns/op": 1000, "allocs/op": 9}})
+	if report, failed := Compare(base, cur, 0.20); failed {
+		t.Fatalf("tiny alloc jitter within slack failed:\n%s", report)
+	}
+}
+
+func TestCompareZeroAllocBaselineIsHardFloor(t *testing.T) {
+	base := snapOf(map[string]map[string]float64{"BenchmarkA": {"ns/op": 1000, "allocs/op": 0}})
+	cur := snapOf(map[string]map[string]float64{"BenchmarkA": {"ns/op": 1000, "allocs/op": 1}})
+	if report, failed := Compare(base, cur, 0.20); !failed {
+		t.Fatalf("zero-alloc baseline regression passed:\n%s", report)
+	}
+}
+
+func TestCompareMissingAllocUnitFails(t *testing.T) {
+	base := snapOf(map[string]map[string]float64{"BenchmarkA": {"ns/op": 1000, "allocs/op": 0}})
+	cur := snapOf(map[string]map[string]float64{"BenchmarkA": {"ns/op": 1000}})
+	report, failed := Compare(base, cur, 0.20)
+	if !failed {
+		t.Fatalf("vanished allocs/op unit disarmed the gate silently:\n%s", report)
+	}
+	if !strings.Contains(report, "missing from current run") {
+		t.Errorf("missing alloc unit not reported:\n%s", report)
 	}
 }
 

@@ -23,24 +23,34 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/profiling"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, latency, headline, longga, ports, convergence, tensor, all")
-		full      = flag.Bool("full", false, "use the paper's full GA/RW budgets (slow: hours)")
-		out       = flag.String("out", "", "write results to this file as well as stdout")
-		maxSeq    = flag.Int("max-sequences", 0, "override sequences per benchmark (0 = config default)")
-		maxLen    = flag.Int("max-length", 0, "override max sequence length (0 = config default)")
-		gaGens    = flag.Int("ga-generations", 0, "override GA generations (0 = config default)")
-		longGen   = flag.Int("longga-generations", 2000, "generations for the long-GA probe")
-		bench     = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 31)")
-		csvDir    = flag.String("csv-dir", "", "also write each experiment's dataset as CSV into this directory")
-		maxPorts  = flag.Int("max-ports", 4, "port counts for the ports sweep")
-		workers   = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the experiment engine and GA fitness evaluation")
-		convBench = flag.String("convergence-benchmark", "", "benchmark for -exp convergence (default: whole-suite largest)")
+		exp        = flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, latency, headline, longga, ports, convergence, tensor, all")
+		full       = flag.Bool("full", false, "use the paper's full GA/RW budgets (slow: hours)")
+		out        = flag.String("out", "", "write results to this file as well as stdout")
+		maxSeq     = flag.Int("max-sequences", 0, "override sequences per benchmark (0 = config default)")
+		maxLen     = flag.Int("max-length", 0, "override max sequence length (0 = config default)")
+		gaGens     = flag.Int("ga-generations", 0, "override GA generations (0 = config default)")
+		longGen    = flag.Int("longga-generations", 2000, "generations for the long-GA probe")
+		bench      = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 31)")
+		csvDir     = flag.String("csv-dir", "", "also write each experiment's dataset as CSV into this directory")
+		maxPorts   = flag.Int("max-ports", 4, "port counts for the ports sweep")
+		workers    = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the experiment engine and GA fitness evaluation")
+		convBench  = flag.String("convergence-benchmark", "", "benchmark for -exp convergence (default: whole-suite largest)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtmbench:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	cfg := eval.Quick()
 	if *full {
@@ -87,6 +97,7 @@ func main() {
 		start := time.Now()
 		r, err := f()
 		if err != nil {
+			stopProfiles()
 			fmt.Fprintf(os.Stderr, "rtmbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}

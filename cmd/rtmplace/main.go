@@ -23,23 +23,26 @@ import (
 	_ "repro" // registers the extension strategies (DMA-2opt)
 	"repro/internal/engine"
 	"repro/internal/placement"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		strategy = flag.String("strategy", "DMA-SR", "placement strategy: "+strategyNames())
-		dbcs     = flag.Int("dbcs", 4, "number of DBCs (2, 4, 8 or 16 for Table I energy numbers)")
-		capacity = flag.Int("capacity", 0, "per-DBC capacity in words (0 = unlimited)")
-		format   = flag.String("format", "vars", "trace format: 'vars' (named variables) or 'addr' (raw R/W address records)")
-		wordSize = flag.Int("word-bytes", 4, "word granularity for -format addr")
-		gaGens   = flag.Int("ga-generations", 200, "GA generations (strategy GA)")
-		gaMu     = flag.Int("ga-mu", 100, "GA population size (strategy GA)")
-		rwIters  = flag.Int("rw-iterations", 60000, "random-walk iterations (strategy RW)")
-		seed     = flag.Int64("seed", 1, "PRNG seed for GA/RW")
-		workers  = flag.Int("workers", runtime.NumCPU(), "worker goroutines for placing sequences concurrently")
-		verbose  = flag.Bool("v", false, "print the placement layout per sequence")
+		strategy   = flag.String("strategy", "DMA-SR", "placement strategy: "+strategyNames())
+		dbcs       = flag.Int("dbcs", 4, "number of DBCs (2, 4, 8 or 16 for Table I energy numbers)")
+		capacity   = flag.Int("capacity", 0, "per-DBC capacity in words (0 = unlimited)")
+		format     = flag.String("format", "vars", "trace format: 'vars' (named variables) or 'addr' (raw R/W address records)")
+		wordSize   = flag.Int("word-bytes", 4, "word granularity for -format addr")
+		gaGens     = flag.Int("ga-generations", 200, "GA generations (strategy GA)")
+		gaMu       = flag.Int("ga-mu", 100, "GA population size (strategy GA)")
+		rwIters    = flag.Int("rw-iterations", 60000, "random-walk iterations (strategy RW)")
+		seed       = flag.Int64("seed", 1, "PRNG seed for GA/RW")
+		workers    = flag.Int("workers", runtime.NumCPU(), "worker goroutines for placing sequences concurrently")
+		verbose    = flag.Bool("v", false, "print the placement layout per sequence")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the placement run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -48,10 +51,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(flag.Arg(0), *strategy, *format, *wordSize, *dbcs, *capacity, *gaGens, *gaMu, *rwIters, *workers, *seed, *verbose); err != nil {
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtmplace:", err)
 		os.Exit(1)
 	}
+	if err := run(flag.Arg(0), *strategy, *format, *wordSize, *dbcs, *capacity, *gaGens, *gaMu, *rwIters, *workers, *seed, *verbose); err != nil {
+		stopProfiles()
+		fmt.Fprintln(os.Stderr, "rtmplace:", err)
+		os.Exit(1)
+	}
+	stopProfiles()
 }
 
 // strategyNames lists every registered strategy for the flag help.

@@ -27,15 +27,56 @@ type PlaceOutcome struct {
 // BatchPlace runs every placement job on a worker pool of the given size
 // and returns the outcomes in job order. Results are identical for any
 // worker count; the first failing job (lowest index) aborts the batch.
+//
+// Before dispatch, one placement.CostKernel is built per distinct
+// sequence in the batch (in parallel, on the same worker budget) and
+// threaded to every job via Options.Kernel: the eval drivers typically
+// submit the same sequence under many strategies and DBC counts, and the
+// shared kernel lets each cell price placements in O(nnz) instead of
+// replaying the access stream. Costs are bit-identical either way, so
+// batch results do not depend on the sharing.
 func BatchPlace(ctx context.Context, jobs []PlaceJob, workers int) ([]PlaceOutcome, error) {
+	kernels, err := batchKernels(ctx, len(jobs), workers, func(i int) *trace.Sequence { return jobs[i].Sequence })
+	if err != nil {
+		return nil, err
+	}
 	return Map(ctx, len(jobs), workers, func(_ context.Context, i int) (PlaceOutcome, error) {
 		j := jobs[i]
+		j.Options.Kernel = kernels[j.Sequence]
 		p, c, err := placement.Place(j.Strategy, j.Sequence, j.DBCs, j.Options)
 		if err != nil {
 			return PlaceOutcome{}, fmt.Errorf("engine: cell %d (%s, q=%d): %w", i, j.Strategy, j.DBCs, err)
 		}
 		return PlaceOutcome{Placement: p, Shifts: c}, nil
 	})
+}
+
+// batchKernels builds the per-sequence cost kernels of a batch: one per
+// distinct sequence (pointer identity), constructed concurrently through
+// the same deterministic worker pool the batch itself runs on.
+func batchKernels(ctx context.Context, n, workers int, seqAt func(i int) *trace.Sequence) (map[*trace.Sequence]*placement.CostKernel, error) {
+	var distinct []*trace.Sequence
+	kernels := make(map[*trace.Sequence]*placement.CostKernel, 8)
+	for i := 0; i < n; i++ {
+		s := seqAt(i)
+		if s == nil {
+			continue
+		}
+		if _, seen := kernels[s]; !seen {
+			kernels[s] = nil
+			distinct = append(distinct, s)
+		}
+	}
+	built, err := Map(ctx, len(distinct), workers, func(_ context.Context, i int) (*placement.CostKernel, error) {
+		return placement.NewCostKernel(distinct[i]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range distinct {
+		kernels[s] = built[i]
+	}
+	return kernels, nil
 }
 
 // A SimJob is one simulation cell: place one sequence with one registry
@@ -50,10 +91,17 @@ type SimJob struct {
 // BatchSimulate runs every simulation cell on a worker pool of the given
 // size and returns the per-cell results in job order. Callers aggregate
 // the returned slice in input order, so totals (including float latency
-// and energy sums) are bit-identical for any worker count.
+// and energy sums) are bit-identical for any worker count. As in
+// BatchPlace, one cost kernel per distinct sequence is shared across the
+// cells' placement phases.
 func BatchSimulate(ctx context.Context, jobs []SimJob, workers int) ([]sim.Result, error) {
+	kernels, err := batchKernels(ctx, len(jobs), workers, func(i int) *trace.Sequence { return jobs[i].Sequence })
+	if err != nil {
+		return nil, err
+	}
 	return Map(ctx, len(jobs), workers, func(_ context.Context, i int) (sim.Result, error) {
 		j := jobs[i]
+		j.Options.Kernel = kernels[j.Sequence]
 		r, err := sim.RunCell(j.Config, j.Sequence, j.Strategy, j.Options)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("engine: cell %d (%s, q=%d): %w", i, j.Strategy, j.Config.Geometry.DBCs(), err)

@@ -2,6 +2,7 @@ package placement
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/rtm"
 	"repro/internal/trace"
@@ -12,7 +13,11 @@ import (
 // DBC, each access costs the absolute offset distance from the previously
 // accessed variable in that DBC; the first access of each DBC is free.
 //
-// This is the single-port fast path used as the GA fitness function; it is
+// The replay is the repository's cost *oracle*: every other evaluator —
+// the O(nnz) CostKernel full evaluation and the O(freq) DeltaEvaluator
+// move evaluation — is pinned bit-identical to it (see DESIGN.md §8).
+// Hot paths that evaluate many placements of one sequence should build a
+// CostKernel instead; ShiftCost replays the stream at O(accesses) and is
 // equivalent to driving one rtm.ShiftEngine per DBC with one port per
 // track (see TestCostMatchesEngine).
 func ShiftCost(s *trace.Sequence, p *Placement) (int64, error) {
@@ -20,15 +25,34 @@ func ShiftCost(s *trace.Sequence, p *Placement) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return shiftCostLookup(s, l), nil
+	sc := replayPool.Get().(*replayScratch)
+	c := shiftCostLookup(s, l, sc.grow(numDBCsIn(l)))
+	replayPool.Put(sc)
+	return c, nil
 }
 
-// shiftCostLookup is the allocation-light inner loop shared by ShiftCost
-// and the search algorithms. The lookup must cover every accessed variable.
-func shiftCostLookup(s *trace.Sequence, l *Lookup) int64 {
+// replayScratch is the reusable last-offset buffer of the replay loop,
+// pooled so repeated ShiftCost calls stop allocating per call.
+type replayScratch struct{ last []int }
+
+var replayPool = sync.Pool{New: func() any { return new(replayScratch) }}
+
+// grow returns the scratch resized to q entries, reusing the backing
+// array when it is large enough. shiftCostLookup resets the contents.
+func (sc *replayScratch) grow(q int) []int {
+	if cap(sc.last) < q {
+		sc.last = make([]int, q)
+	}
+	sc.last = sc.last[:q]
+	return sc.last
+}
+
+// shiftCostLookup is the allocation-free inner loop of the replay path.
+// The lookup must cover every accessed variable; last must have one entry
+// per DBC of the lookup (callers thread a reusable buffer through).
+func shiftCostLookup(s *trace.Sequence, l *Lookup, last []int) int64 {
 	// last[d] is the offset of the previously accessed variable in DBC d,
 	// or -1 when the DBC is still cold.
-	last := make([]int, numDBCsIn(l))
 	for i := range last {
 		last[i] = -1
 	}
@@ -46,6 +70,58 @@ func shiftCostLookup(s *trace.Sequence, l *Lookup) int64 {
 		last[d] = off
 	}
 	return total
+}
+
+// shiftCostLookupBounded is shiftCostLookup with an abort threshold: the
+// running total only grows, so once it reaches bound the final cost
+// provably does too and the replay stops. Exact below bound; at or
+// above bound the value is only a certificate that cost >= bound.
+// Best-of-N searches use it to discard losing placements early.
+func shiftCostLookupBounded(s *trace.Sequence, l *Lookup, last []int, bound int64) int64 {
+	for i := range last {
+		last[i] = -1
+	}
+	var total int64
+	for _, a := range s.Accesses {
+		d := l.DBCOf[a.Var]
+		off := l.Offset[a.Var]
+		if prev := last[d]; prev >= 0 {
+			if off > prev {
+				total += int64(off - prev)
+			} else {
+				total += int64(prev - off)
+			}
+			if total >= bound {
+				return total
+			}
+		}
+		last[d] = off
+	}
+	return total
+}
+
+// shiftCostPerDBC is the replay loop with per-DBC attribution: one
+// O(accesses) pass prices every DBC of the placement at once (the GA's
+// DBC cost cache uses it to fill all missing entries together when a
+// placement shares little with previously priced ones). per must hold
+// one entry per DBC; it is zeroed here.
+func shiftCostPerDBC(s *trace.Sequence, l *Lookup, last []int, per []int64) {
+	for i := range last {
+		last[i] = -1
+		per[i] = 0
+	}
+	for _, a := range s.Accesses {
+		d := l.DBCOf[a.Var]
+		off := l.Offset[a.Var]
+		if prev := last[d]; prev >= 0 {
+			if off > prev {
+				per[d] += int64(off - prev)
+			} else {
+				per[d] += int64(prev - off)
+			}
+		}
+		last[d] = off
+	}
 }
 
 func numDBCsIn(l *Lookup) int {

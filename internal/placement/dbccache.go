@@ -1,0 +1,135 @@
+package placement
+
+// dbcCostCache memoizes per-DBC partial costs by DBC content. A DBC's
+// contribution to the full shift cost depends only on its own ordered
+// member list (CostDBC), and population-based search re-prices the same
+// DBC contents constantly: crossover children keep most parental DBCs
+// untouched, elites survive generations verbatim, and converged
+// populations are near-duplicates of one another. Caching per DBC —
+// rather than per placement — turns all of that sharing into O(|DBC|)
+// hash lookups instead of cost scans.
+//
+// Misses are priced adaptively. When only a small minority of a
+// placement's DBCs miss (the converged-population steady state), each
+// missing DBC is priced by a targeted kernel scan — structured
+// placements keep those scans shallow. When most DBCs miss (random
+// initial populations, permute-mutated individuals), a single bounded
+// replay of the access stream prices every DBC at once: on scattered
+// placements the kernel's candidate walks are branch-miss bound and the
+// linear replay is measurably faster, and one replay pass fills all
+// missing entries together.
+//
+// Entries verify the full content on lookup, so a hash collision costs
+// a comparison, never a wrong cost: cached evaluation is bit-identical
+// to Cost (TestDBCCostCacheParity) and search trajectories are
+// unchanged. The cache only ever changes speed, not results; it resets
+// deterministically when it reaches its size bound.
+type dbcCostCache struct {
+	kern    *CostKernel
+	m       map[uint64][]dbcCacheEnt
+	entries int
+
+	// Per-eval scratch.
+	missing []int
+	hashes  []uint64
+	last    []int
+	per     []int64
+}
+
+type dbcCacheEnt struct {
+	key  []int32
+	cost int64
+}
+
+// dbcCacheMaxEntries bounds the cache footprint (a few MB at typical
+// DBC sizes). The reset is deterministic, so results stay reproducible.
+const dbcCacheMaxEntries = 1 << 15
+
+func newDBCCostCache(kern *CostKernel) *dbcCostCache {
+	return &dbcCostCache{kern: kern, m: make(map[uint64][]dbcCacheEnt, 256)}
+}
+
+// eval prices a full placement as the sum of per-DBC cached costs; the
+// lookup must already describe p (fillLookup).
+func (c *dbcCostCache) eval(l *Lookup, p *Placement) int64 {
+	q := len(p.DBC)
+	if cap(c.hashes) < q {
+		c.hashes = make([]uint64, q)
+		c.last = make([]int, q)
+		c.per = make([]int64, q)
+	}
+	c.missing = c.missing[:0]
+
+	var total int64
+	nonEmpty := 0
+	for d, content := range p.DBC {
+		if len(content) == 0 {
+			continue
+		}
+		nonEmpty++
+		h := uint64(14695981039346656037)
+		for _, v := range content {
+			h = (h ^ uint64(uint32(v))) * 1099511628211
+		}
+		if cost, ok := c.lookup(h, content); ok {
+			total += cost
+			continue
+		}
+		c.hashes[d] = h
+		c.missing = append(c.missing, d)
+	}
+
+	switch {
+	case len(c.missing) == 0:
+	case len(c.missing)*4 <= nonEmpty:
+		// Minority miss: targeted kernel scans of just the dirty DBCs.
+		for _, d := range c.missing {
+			cost := c.kern.CostDBC(l, p.DBC[d])
+			c.insert(c.hashes[d], p.DBC[d], cost)
+			total += cost
+		}
+	default:
+		// Bulk miss: one replay pass prices every DBC at once.
+		shiftCostPerDBC(c.kern.Sequence(), l, c.last[:q], c.per[:q])
+		for _, d := range c.missing {
+			cost := c.per[d]
+			c.insert(c.hashes[d], p.DBC[d], cost)
+			total += cost
+		}
+	}
+	return total
+}
+
+func (c *dbcCostCache) lookup(h uint64, content []int) (int64, bool) {
+	for _, e := range c.m[h] {
+		if dbcKeyEqual(e.key, content) {
+			return e.cost, true
+		}
+	}
+	return 0, false
+}
+
+func (c *dbcCostCache) insert(h uint64, content []int, cost int64) {
+	if c.entries >= dbcCacheMaxEntries {
+		c.m = make(map[uint64][]dbcCacheEnt, 256)
+		c.entries = 0
+	}
+	key := make([]int32, len(content))
+	for i, v := range content {
+		key[i] = int32(v)
+	}
+	c.m[h] = append(c.m[h], dbcCacheEnt{key: key, cost: cost})
+	c.entries++
+}
+
+func dbcKeyEqual(key []int32, content []int) bool {
+	if len(key) != len(content) {
+		return false
+	}
+	for i, v := range content {
+		if key[i] != int32(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -9,22 +9,28 @@ import (
 // non-disjoint DBCs, polished by the TwoOpt local search (see twoopt.go).
 // Since the delta-evaluator rewrite the polish pass prices each candidate
 // move in O(freq) instead of replaying the DBC's restricted subsequence,
-// so the strategy stays affordable on long traces (BenchmarkTwoOptDelta).
-// TwoOpt can only keep or improve the intra cost, so this strategy is
-// never worse than DMA-SR on the cost model. It is not one of the paper's
-// six evaluated strategies; the racetrack package registers it as
-// "DMA-2opt" through the public RegisterStrategy hook to demonstrate
-// registry extensibility.
+// so the strategy stays affordable on long traces (BenchmarkTwoOptDelta);
+// with a batch-shared cost kernel at hand the per-DBC evaluator setup is
+// derived from it in O(nnz) too, so nothing on this path replays the
+// stream. TwoOpt can only keep or improve the intra cost, so this
+// strategy is never worse than DMA-SR on the cost model. It is not one of
+// the paper's six evaluated strategies; the racetrack package registers
+// it as "DMA-2opt" through the public RegisterStrategy hook to
+// demonstrate registry extensibility.
 func PlaceDMATwoOpt(s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
 	a := trace.Analyze(s)
 	r, err := DMA(a, q, opts.Capacity)
 	if err != nil {
 		return nil, 0, err
 	}
+	kern := opts.Kernel
+	if kern == nil || kern.Sequence() != s {
+		kern = nil
+	}
 	refined := func(vars []int, s *trace.Sequence, a *trace.Analysis) []int {
-		return TwoOpt(ShiftsReduce(vars, s, a), s, a)
+		return twoOptWithKernel(ShiftsReduce(vars, s, a), s, kern)
 	}
 	p := ApplyIntra(r.Placement, r.DisjointDBCs, q, refined, s, a)
-	c, err := ShiftCost(s, p)
+	c, err := costOf(s, p, opts)
 	return p, c, err
 }

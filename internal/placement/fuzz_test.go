@@ -6,6 +6,82 @@ import (
 	"repro/internal/trace"
 )
 
+// FuzzKernelParity feeds arbitrary byte strings interpreted as (variable
+// universe, access sequence, DBC assignment, offset shuffle) and checks
+// that the O(nnz) CostKernel evaluation stays bit-identical to the
+// ShiftCost replay oracle, and that the kernel-derived DeltaEvaluator
+// agrees with the replay-built one on every DBC. Run in CI's fuzz-smoke
+// job alongside FuzzDeltaParity.
+func FuzzKernelParity(f *testing.F) {
+	f.Add([]byte{5, 2, 0, 1, 2, 3, 4, 0, 1, 2, 1, 0, 3, 9, 9})
+	f.Add([]byte{3, 1, 0, 1, 2, 0, 1, 2, 2, 0, 1, 7})
+	f.Add([]byte{16, 3, 1, 5, 9, 2, 6, 10, 3, 7, 11, 0, 4, 8, 250, 1, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 || len(data) > 4096 {
+			t.Skip() // bound per-exec cost so the CI smoke job explores widely
+		}
+		numVars := 1 + int(data[0]%24)
+		q := 1 + int(data[1]%6)
+		body := data[2:]
+
+		// First two thirds of the body emit accesses, the rest drives the
+		// placement: per-variable DBC choice and an offset shuffle.
+		cut := len(body) * 2 / 3
+		seqBytes, placeBytes := body[:cut], body[cut:]
+		if len(seqBytes) == 0 {
+			t.Skip()
+		}
+		names := make([]string, numVars)
+		for i := range names {
+			names[i] = "v" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		}
+		s := &trace.Sequence{Names: names}
+		for _, b := range seqBytes {
+			s.Append(int(b)%numVars, false)
+		}
+
+		p := NewEmpty(q)
+		for v := 0; v < numVars; v++ {
+			d := 0
+			if v < len(placeBytes) {
+				d = int(placeBytes[v]) % q
+			}
+			p.DBC[d] = append(p.DBC[d], v)
+		}
+		for bi := numVars; bi+1 < len(placeBytes); bi += 2 {
+			d := p.DBC[int(placeBytes[bi])%q]
+			if len(d) > 1 {
+				i := int(placeBytes[bi+1]) % len(d)
+				d[0], d[i] = d[i], d[0]
+			}
+		}
+
+		want, err := ShiftCost(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := NewCostKernel(s)
+		got, err := k.Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("kernel %d, replay %d\nseq: %v\nplacement: %v", got, want, s, p)
+		}
+		for _, d := range p.DBC {
+			if len(d) == 0 {
+				continue
+			}
+			ref := NewDeltaEvaluator(s, d)
+			der := NewDeltaEvaluatorFromKernel(k, d)
+			if ref.Cost() != der.Cost() || ref.Accesses() != der.Accesses() {
+				t.Fatalf("DBC %v: replay-built (cost %d, acc %d) vs kernel-derived (cost %d, acc %d)",
+					d, ref.Cost(), ref.Accesses(), der.Cost(), der.Accesses())
+			}
+		}
+	})
+}
+
 // FuzzDeltaParity feeds arbitrary byte strings interpreted as (variable
 // universe, access sequence, move chain) and checks the incremental
 // DeltaEvaluator cost stays bit-identical to a full ShiftCost recompute

@@ -2,6 +2,7 @@ package placement
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -50,6 +51,13 @@ type GAConfig struct {
 	// (0 or 1 = sequential). Search decisions stay on one PRNG stream, so
 	// results are deterministic for a fixed Seed regardless of Workers.
 	Workers int
+	// Kernel optionally supplies a pre-built cost kernel for the
+	// sequence; fitness evaluation runs through it in O(nnz) per
+	// individual. When nil (or built from a different sequence) the GA
+	// builds its own — the build is O(accesses) once, against thousands
+	// of per-individual replays it replaces. Costs are bit-identical to
+	// the replay path either way.
+	Kernel *CostKernel
 }
 
 // DefaultGAConfig returns the paper's published GA parameters.
@@ -100,11 +108,18 @@ func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	lookup := &Lookup{DBCOf: make([]int, s.NumVars()), Offset: make([]int, s.NumVars())}
 
+	// All fitness evaluation runs through the cost kernel: O(nnz) per
+	// individual, allocation-free after this point (the lookup buffer is
+	// reused in place). cfg.Kernel shares one build across callers (the
+	// engine batch layer, repeated GA runs on one sequence).
+	kern := kernelFor(cfg.Kernel, s)
+	cfg.Kernel = kern // the memetic improve operator derives its DeltaEvaluator from it
+	cache := newDBCCostCache(kern)
 	evalCount := int64(0)
 	eval := func(p *Placement) int64 {
 		fillLookup(lookup, p)
 		evalCount++
-		return shiftCostLookup(s, lookup)
+		return cache.eval(lookup, p)
 	}
 
 	pop := make([]individual, 0, cfg.Mu)
@@ -130,6 +145,9 @@ func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
 		}
 	}
 
+	var xsc xoverScratch // crossover's variable→DBC tables, reused all run
+	var pp placementPool // recycles placements of non-surviving individuals
+	var workerCaches []*workerEval
 	res := &GAResult{History: make([]int64, 0, cfg.Generations)}
 	for gen := 0; gen < cfg.Generations; gen++ {
 		// Breed the whole offspring batch first (sequential, one PRNG
@@ -138,7 +156,8 @@ func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
 		for len(offspring) < cfg.Lambda {
 			p1 := tournament(rng, pop, cfg.TournamentK)
 			p2 := tournament(rng, pop, cfg.TournamentK)
-			c1, c2 := crossover(rng, p1.p, p2.p, vars, cfg.Capacity)
+			c1, c2 := pp.clone(p1.p), pp.clone(p2.p)
+			crossoverInto(rng, c1, c2, vars, cfg.Capacity, &xsc)
 			for _, c := range []*Placement{c1, c2} {
 				if len(offspring) == cfg.Lambda {
 					break
@@ -150,7 +169,10 @@ func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
 			}
 		}
 		if cfg.Workers > 1 {
-			evalParallel(s, offspring, cfg.Workers)
+			if workerCaches == nil {
+				workerCaches = makeWorkerCaches(s, kern, cfg.Workers)
+			}
+			evalParallel(workerCaches, offspring)
 			evalCount += int64(len(offspring))
 		} else {
 			for i := range offspring {
@@ -176,6 +198,23 @@ func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
 			best = poolBest
 		}
 		res.History = append(res.History, best.cost)
+
+		// Recycle the placements of offspring that did not survive
+		// selection (offspring pointers are unique, so no double-free;
+		// the all-time best is pinned even when an equal-cost rival
+		// displaced it from the population).
+		for _, o := range offspring {
+			survived := o.p == best.p
+			for _, ind := range pop {
+				if survived {
+					break
+				}
+				survived = ind.p == o.p
+			}
+			if !survived {
+				pp.put(o.p)
+			}
+		}
 	}
 
 	res.Best = best.p.Clone()
@@ -185,25 +224,45 @@ func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
 	return res, nil
 }
 
-// evalParallel computes offspring fitness on a worker pool; each worker
-// owns its lookup buffer.
-func evalParallel(s *trace.Sequence, offspring []individual, workers int) {
-	if workers > len(offspring) {
-		workers = len(offspring)
+// workerEval is one parallel-evaluation worker's private state: a
+// lookup buffer and a DBC cost cache that live for the whole GA run, so
+// cross-generation content sharing (elites, converged populations) hits
+// the cache in parallel mode exactly as it does serially.
+type workerEval struct {
+	lookup *Lookup
+	cache  *dbcCostCache
+}
+
+func makeWorkerCaches(s *trace.Sequence, kern *CostKernel, workers int) []*workerEval {
+	out := make([]*workerEval, workers)
+	for w := range out {
+		out[w] = &workerEval{
+			lookup: &Lookup{DBCOf: make([]int, s.NumVars()), Offset: make([]int, s.NumVars())},
+			cache:  newDBCCostCache(kern),
+		}
 	}
+	return out
+}
+
+// evalParallel computes offspring fitness on a worker pool; each worker
+// owns its run-long lookup buffer and DBC cost cache, and all workers
+// share the immutable kernel. Costs are identical to the sequential
+// path (caches change speed, never values).
+func evalParallel(workers []*workerEval, offspring []individual) {
 	var wg sync.WaitGroup
 	next := make(chan int)
-	for w := 0; w < workers; w++ {
+	n := len(workers)
+	if n > len(offspring) {
+		n = len(offspring)
+	}
+	for w := 0; w < n; w++ {
+		we := workers[w]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lookup := &Lookup{
-				DBCOf:  make([]int, s.NumVars()),
-				Offset: make([]int, s.NumVars()),
-			}
 			for i := range next {
-				fillLookup(lookup, offspring[i].p)
-				offspring[i].cost = shiftCostLookup(s, lookup)
+				fillLookup(we.lookup, offspring[i].p)
+				offspring[i].cost = we.cache.eval(we.lookup, offspring[i].p)
 			}
 		}()
 	}
@@ -242,6 +301,19 @@ func tournament(rng *rand.Rand, pop []individual, k int) individual {
 // shuffles each DBC, respecting capacity when positive.
 func randomPlacement(rng *rand.Rand, vars []int, q, capacity int) *Placement {
 	p := NewEmpty(q)
+	randomPlacementInto(p, rng, vars, capacity)
+	return p
+}
+
+// randomPlacementInto is randomPlacement into a reusable placement (the
+// DBC slices are truncated and refilled, keeping their capacity). The
+// PRNG consumption is identical to randomPlacement's, so a search that
+// switches to buffer reuse visits the same placements.
+func randomPlacementInto(p *Placement, rng *rand.Rand, vars []int, capacity int) {
+	q := len(p.DBC)
+	for d := range p.DBC {
+		p.DBC[d] = p.DBC[d][:0]
+	}
 	for _, v := range vars {
 		d := rng.Intn(q)
 		if capacity > 0 {
@@ -254,8 +326,47 @@ func randomPlacement(rng *rand.Rand, vars []int, q, capacity int) *Placement {
 	for _, d := range p.DBC {
 		rng.Shuffle(len(d), func(i, j int) { d[i], d[j] = d[j], d[i] })
 	}
-	return p
 }
+
+// xoverScratch holds crossover's two variable→DBC tables. They are
+// rebuilt (densely, no hashing) at every call and reused across the
+// whole run, so the breeding loop stops allocating per pair; entries of
+// unplaced variables are stale but never read (both parents place the
+// same variable set, and only placed variables are looked up).
+type xoverScratch struct {
+	d1, d2 []int
+}
+
+// placementPool is a free list of dead placements. The breeding loop
+// clones two parents per pair, and selection discards most offspring a
+// generation later; recycling their placements (and DBC slices) removes
+// the dominant allocation source of the GA. Purely a memory
+// optimization: clone contents are identical either way.
+type placementPool struct {
+	free []*Placement
+}
+
+// clone returns a deep copy of src, reusing a recycled placement's
+// storage when one is available.
+func (pp *placementPool) clone(src *Placement) *Placement {
+	n := len(pp.free)
+	if n == 0 {
+		return src.Clone()
+	}
+	dst := pp.free[n-1]
+	pp.free = pp.free[:n-1]
+	if cap(dst.DBC) < len(src.DBC) {
+		dst.DBC = make([][]int, len(src.DBC))
+	}
+	dst.DBC = dst.DBC[:len(src.DBC)]
+	for d, vars := range src.DBC {
+		dst.DBC[d] = append(dst.DBC[d][:0], vars...)
+	}
+	return dst
+}
+
+// put returns a dead placement to the free list.
+func (pp *placementPool) put(p *Placement) { pp.free = append(pp.free, p) }
 
 // crossover implements the paper's 2-fold crossover: variables are indexed
 // in sequence-appearance order; a contiguous index range [f, l] is chosen
@@ -265,18 +376,25 @@ func randomPlacement(rng *rand.Rand, vars []int, q, capacity int) *Placement {
 // preserved and both children remain valid placements. When capacity is
 // positive, a move that would overflow the target DBC is skipped for that
 // child (the other child may still take its half of the swap).
-func crossover(rng *rand.Rand, i, j *Placement, vars []int, capacity int) (*Placement, *Placement) {
+func crossover(rng *rand.Rand, i, j *Placement, vars []int, capacity int, sc *xoverScratch) (*Placement, *Placement) {
 	c1, c2 := i.Clone(), j.Clone()
+	crossoverInto(rng, c1, c2, vars, capacity, sc)
+	return c1, c2
+}
+
+// crossoverInto is crossover operating on the pre-cloned children in
+// place (the breeding loop clones through its placement pool first).
+func crossoverInto(rng *rand.Rand, c1, c2 *Placement, vars []int, capacity int, sc *xoverScratch) {
 	if len(vars) < 2 {
-		return c1, c2
+		return
 	}
 	f := rng.Intn(len(vars))
 	l := rng.Intn(len(vars))
 	if f > l {
 		f, l = l, f
 	}
-	d1, _ := dbcIndex(c1)
-	d2, _ := dbcIndex(c2)
+	d1 := dbcIndexInto(&sc.d1, c1)
+	d2 := dbcIndexInto(&sc.d2, c2)
 	for _, v := range vars[f : l+1] {
 		r, s := d1[v], d2[v]
 		if r == s {
@@ -289,20 +407,29 @@ func crossover(rng *rand.Rand, i, j *Placement, vars []int, capacity int) (*Plac
 			moveVar(c2, v, s, r)
 		}
 	}
-	return c1, c2
 }
 
-// dbcIndex maps each placed variable to its DBC.
-func dbcIndex(p *Placement) (map[int]int, int) {
-	m := make(map[int]int)
-	n := 0
+// dbcIndexInto fills a dense variable→DBC table into the reusable
+// buffer, growing it to cover the placement's variable range.
+func dbcIndexInto(buf *[]int, p *Placement) []int {
+	width := 0
+	for _, vars := range p.DBC {
+		for _, v := range vars {
+			if v+1 > width {
+				width = v + 1
+			}
+		}
+	}
+	if cap(*buf) < width {
+		*buf = make([]int, width)
+	}
+	m := (*buf)[:width]
 	for d, vars := range p.DBC {
 		for _, v := range vars {
 			m[v] = d
-			n++
 		}
 	}
-	return m, n
+	return m
 }
 
 func moveVar(p *Placement, v, from, to int) {
@@ -334,15 +461,17 @@ func mutate(rng *rand.Rand, p *Placement, s *trace.Sequence, cfg GAConfig) {
 	case r < cfg.MoveWeight+cfg.TransposeWeight+cfg.PermuteWeight:
 		mutatePermute(rng, p)
 	default:
-		mutateImprove(rng, p, s)
+		mutateImprove(rng, p, s, cfg.Kernel)
 	}
 }
 
 // mutateImprove runs one first-improvement 2-opt sweep over the offset
 // order of one random DBC with at least three variables, evaluated
 // incrementally. It can only keep or lower the individual's fitness; the
-// GA's exploration pressure comes from the other operators.
-func mutateImprove(rng *rand.Rand, p *Placement, s *trace.Sequence) {
+// GA's exploration pressure comes from the other operators. With a
+// kernel at hand (the GA always threads its own) the DeltaEvaluator is
+// derived from it in O(nnz) instead of replaying the access stream.
+func mutateImprove(rng *rand.Rand, p *Placement, s *trace.Sequence, kern *CostKernel) {
 	var eligible []int
 	for d, vars := range p.DBC {
 		if len(vars) >= 3 {
@@ -353,7 +482,12 @@ func mutateImprove(rng *rand.Rand, p *Placement, s *trace.Sequence) {
 		return
 	}
 	d := eligible[rng.Intn(len(eligible))]
-	e := NewDeltaEvaluator(s, p.DBC[d])
+	var e *DeltaEvaluator
+	if kern != nil && kern.Sequence() == s {
+		e = NewDeltaEvaluatorFromKernel(kern, p.DBC[d])
+	} else {
+		e = NewDeltaEvaluator(s, p.DBC[d])
+	}
 	if e.Accesses() < 2 {
 		return
 	}
@@ -425,6 +559,9 @@ type RWConfig struct {
 	Iterations int
 	Seed       int64
 	Capacity   int
+	// Kernel optionally supplies a pre-built cost kernel for the
+	// sequence, exactly as GAConfig.Kernel does for the GA.
+	Kernel *CostKernel
 }
 
 // DefaultRWConfig returns the paper's random-walk parameters.
@@ -444,17 +581,87 @@ func RandomWalk(s *trace.Sequence, q int, cfg RWConfig) (*Placement, int64, erro
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	lookup := &Lookup{DBCOf: make([]int, s.NumVars()), Offset: make([]int, s.NumVars())}
 
+	// One placement buffer is reused across all iterations; only
+	// improvements (O(log iterations) of them in expectation) are
+	// snapshotted. Evaluation is bounded by the best cost so far: a
+	// placement that cannot win is discarded as soon as its partial sum
+	// proves it (bounded evaluation is exact below the bound, and at or
+	// above the bound the placement is not strictly better, so the
+	// best-so-far sequence — and therefore the result — is identical to
+	// full evaluation).
+	//
+	// Random placements are adversarial for the stencil kernel: scans
+	// are deep and branch-miss bound, and the linear replay wins unless
+	// the trace is strongly loop-compressed (see DESIGN.md §8). Pick the
+	// evaluator by the kernel's measured compression; when no shared
+	// kernel was supplied, the speculative build aborts (nil) as soon as
+	// the table provably exceeds the compression threshold.
+	kern := cfg.Kernel
+	if kern != nil && kern.Sequence() != s {
+		kern = nil
+	}
+	if kern == nil {
+		kern = buildCostKernel(s, s.Len()/2)
+	}
+	useKernel := kern != nil && kern.Candidates() < s.Len()/2
+	sc := replayPool.Get().(*replayScratch)
+	defer replayPool.Put(sc)
+	last := sc.grow(q)
+	for v := range lookup.DBCOf {
+		lookup.DBCOf[v] = -1
+		lookup.Offset[v] = -1
+	}
+
 	var best *Placement
-	var bestCost int64
+	bestCost := int64(math.MaxInt64)
+	p := NewEmpty(q)
 	for it := 0; it < cfg.Iterations; it++ {
-		p := randomPlacement(rng, vars, q, cfg.Capacity)
-		fillLookup(lookup, p)
-		c := shiftCostLookup(s, lookup)
+		randomPlacementLookup(p, lookup, rng, vars, cfg.Capacity)
+		var c int64
+		if useKernel {
+			c = kern.CostBounded(lookup, bestCost)
+		} else {
+			c = shiftCostLookupBounded(s, lookup, last, bestCost)
+		}
 		if best == nil || c < bestCost {
-			best, bestCost = p, c
+			best, bestCost = p.Clone(), c
 		}
 	}
 	return best, bestCost, nil
+}
+
+// randomPlacementLookup is randomPlacementInto maintaining the inverse
+// lookup alongside: assignments are recorded as they are drawn and
+// offsets are patched inside the shuffle swaps, replacing the separate
+// O(numVars) fillLookup pass per iteration. The PRNG consumption — and
+// therefore the placement sequence — is identical to randomPlacement's.
+// Only the placed variables' lookup entries are written; the caller's
+// lookup must start out all -1 and be reserved for this loop (unplaced
+// variables are never read by the evaluators because they are never
+// accessed).
+func randomPlacementLookup(p *Placement, l *Lookup, rng *rand.Rand, vars []int, capacity int) {
+	q := len(p.DBC)
+	for d := range p.DBC {
+		p.DBC[d] = p.DBC[d][:0]
+	}
+	for _, v := range vars {
+		d := rng.Intn(q)
+		if capacity > 0 {
+			for tries := 0; len(p.DBC[d]) >= capacity && tries < q; tries++ {
+				d = (d + 1) % q
+			}
+		}
+		l.DBCOf[v] = d
+		l.Offset[v] = len(p.DBC[d])
+		p.DBC[d] = append(p.DBC[d], v)
+	}
+	for _, d := range p.DBC {
+		rng.Shuffle(len(d), func(i, j int) {
+			d[i], d[j] = d[j], d[i]
+			l.Offset[d[i]] = i
+			l.Offset[d[j]] = j
+		})
+	}
 }
 
 // SortDBCsBySize is a helper used by reports: returns DBC indices ordered

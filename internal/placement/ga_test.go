@@ -42,7 +42,11 @@ func TestGAMemeticStrategy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mutateImprove(rng, p, seq)
+		var kern *CostKernel
+		if trial%2 == 0 { // exercise both the kernel-derived and replay setups
+			kern = NewCostKernel(seq)
+		}
+		mutateImprove(rng, p, seq, kern)
 		after, err := ShiftCost(seq, p)
 		if err != nil {
 			t.Fatal(err)
@@ -182,7 +186,7 @@ func TestCrossoverPreservesValidity(t *testing.T) {
 		q := 2 + rng.Intn(3)
 		p1 := randomPlacement(rng, vars, q, 0)
 		p2 := randomPlacement(rng, vars, q, 0)
-		c1, c2 := crossover(rng, p1, p2, vars, 0)
+		c1, c2 := crossover(rng, p1, p2, vars, 0, new(xoverScratch))
 		for i, c := range []*Placement{c1, c2} {
 			if err := c.Validate(s, 0); err != nil {
 				t.Fatalf("trial %d child %d invalid: %v", trial, i, err)
@@ -226,6 +230,82 @@ func TestMutateMoveRespectsCapacity(t *testing.T) {
 		for d, vars := range p.DBC {
 			if len(vars) > 2 {
 				t.Fatalf("trial %d: DBC %d overflowed capacity: %v", trial, d, p.DBC)
+			}
+		}
+	}
+}
+
+// TestRandomWalkKernelPath drives the random walk on a strongly
+// loop-compressed sequence (the kernel table is far smaller than the
+// stream, so the bounded kernel evaluator is selected) and checks the
+// reported best against a full replay re-evaluation.
+func TestRandomWalkKernelPath(t *testing.T) {
+	s := &trace.Sequence{Names: []string{"a", "b", "c", "d", "e"}}
+	for i := 0; i < 300; i++ {
+		for v := 0; v < 5; v++ {
+			s.Append(v, false)
+		}
+	}
+	if k := NewCostKernel(s); k.Candidates() >= s.Len()/2 {
+		t.Fatalf("workload not loop-compressed enough: cand %d vs m %d", k.Candidates(), s.Len())
+	}
+	p, c, err := RandomWalk(s, 3, RWConfig{Iterations: 400, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(s, 0); err != nil {
+		t.Fatalf("invalid RW placement: %v", err)
+	}
+	got, err := ShiftCost(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Errorf("reported cost %d != replay %d", c, got)
+	}
+}
+
+// TestRandomPlacementLookupConsistency pins the fused generator: the
+// maintained lookup must equal a from-scratch inversion of the
+// generated placement, and the PRNG stream must match randomPlacement's
+// exactly (same seed, same placements).
+func TestRandomPlacementLookupConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		numVars := 1 + rng.Intn(20)
+		s := randSeq(rng, numVars, 40)
+		a := trace.Analyze(s)
+		vars := a.ByFirstUse()
+		q := 1 + rng.Intn(4)
+		capacity := 0
+		if rng.Intn(3) == 0 {
+			capacity = 1 + (len(vars)+q-1)/q
+		}
+		seed := rng.Int63()
+
+		ref := rand.New(rand.NewSource(seed))
+		fused := rand.New(rand.NewSource(seed))
+		p := NewEmpty(q)
+		lookup := &Lookup{DBCOf: make([]int, s.NumVars()), Offset: make([]int, s.NumVars())}
+		for v := range lookup.DBCOf {
+			lookup.DBCOf[v] = -1
+			lookup.Offset[v] = -1
+		}
+		for it := 0; it < 5; it++ {
+			want := randomPlacement(ref, vars, q, capacity)
+			randomPlacementLookup(p, lookup, fused, vars, capacity)
+			if !p.Equal(want) {
+				t.Fatalf("trial %d it %d: fused placement %v, reference %v", trial, it, p, want)
+			}
+			wl, err := want.BuildLookup(s.NumVars())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range vars {
+				if lookup.DBCOf[v] != wl.DBCOf[v] || lookup.Offset[v] != wl.Offset[v] {
+					t.Fatalf("trial %d it %d: lookup for var %d = (%d,%d), want (%d,%d)",
+						trial, it, v, lookup.DBCOf[v], lookup.Offset[v], wl.DBCOf[v], wl.Offset[v])
+				}
 			}
 		}
 	}
@@ -435,7 +515,7 @@ func TestCrossoverRespectsCapacity(t *testing.T) {
 		capacity := (len(vars)+q-1)/q + 1
 		p1 := randomPlacement(rng, vars, q, capacity)
 		p2 := randomPlacement(rng, vars, q, capacity)
-		c1, c2 := crossover(rng, p1, p2, vars, capacity)
+		c1, c2 := crossover(rng, p1, p2, vars, capacity, new(xoverScratch))
 		for i, c := range []*Placement{c1, c2} {
 			if err := c.Validate(s, capacity); err != nil {
 				t.Fatalf("trial %d child %d: %v", trial, i, err)

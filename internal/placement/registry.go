@@ -127,7 +127,7 @@ func (afdOFU) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, 
 		return nil, 0, err
 	}
 	p = ApplyIntra(p, 0, q, OFU, s, a)
-	c, err := ShiftCost(s, p)
+	c, err := costOf(s, p, opts)
 	return p, c, err
 }
 
@@ -149,7 +149,7 @@ func (d dma) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, e
 	// Algorithm 1 lines 22-23: intra-DBC optimization only on the
 	// non-disjoint DBCs; the disjoint DBCs keep access order.
 	p := ApplyIntra(r.Placement, r.DisjointDBCs, q, d.intra, s, a)
-	c, err := ShiftCost(s, p)
+	c, err := costOf(s, p, opts)
 	return p, c, err
 }
 
@@ -169,6 +169,9 @@ func (g ga) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, er
 		cfg = DefaultGAConfig()
 	}
 	cfg.Capacity = opts.Capacity
+	if cfg.Kernel == nil {
+		cfg.Kernel = opts.Kernel // GA validates the sequence match itself
+	}
 	if g.memetic && cfg.ImproveWeight == 0 {
 		// Same order of magnitude as the paper's permute skew: rare
 		// enough to keep breeding cheap, frequent enough to polish.
@@ -204,6 +207,9 @@ func (rw) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, erro
 		cfg = DefaultRWConfig()
 	}
 	cfg.Capacity = opts.Capacity
+	if cfg.Kernel == nil {
+		cfg.Kernel = opts.Kernel
+	}
 	return RandomWalk(s, q, cfg)
 }
 

@@ -53,6 +53,23 @@ type Options struct {
 	// initial population, as the paper describes. Enabled by default
 	// through Place; disable for cold-start ablations.
 	DisableGASeeding bool
+	// Kernel optionally carries a pre-built cost kernel for the sequence
+	// being placed. Strategies evaluate full placements through it in
+	// O(nnz) instead of replaying the access stream; the engine batch
+	// layer builds one kernel per distinct sequence in a batch and
+	// threads it here. A kernel built from a different sequence (pointer
+	// identity) is ignored. Results are bit-identical either way.
+	Kernel *CostKernel
+}
+
+// costOf prices a freshly computed placement: through the shared kernel
+// when the caller supplied one for this exact sequence, otherwise by
+// replaying the access stream. Both paths return identical costs.
+func costOf(s *trace.Sequence, p *Placement, opts Options) (int64, error) {
+	if k := opts.Kernel; k != nil && k.Sequence() == s {
+		return k.Evaluate(p)
+	}
+	return ShiftCost(s, p)
 }
 
 // Place runs the named strategy on the sequence with q DBCs and returns
@@ -68,14 +85,23 @@ func Place(id StrategyID, s *trace.Sequence, q int, opts Options) (*Placement, i
 }
 
 // heuristicSeeds produces the heuristic placements used to seed the GA.
+// With a batch-shared kernel at hand the seeds are memoized per
+// (sequence, DBC count, capacity): every GA variant cell of an eval
+// batch would otherwise recompute the same four heuristic placements.
 func heuristicSeeds(s *trace.Sequence, q int, opts Options) ([]*Placement, error) {
-	var seeds []*Placement
-	for _, id := range HeuristicStrategies() {
-		p, _, err := Place(id, s, q, Options{Capacity: opts.Capacity})
-		if err != nil {
-			return nil, err
+	compute := func() ([]*Placement, error) {
+		var seeds []*Placement
+		for _, id := range HeuristicStrategies() {
+			p, _, err := Place(id, s, q, Options{Capacity: opts.Capacity, Kernel: opts.Kernel})
+			if err != nil {
+				return nil, err
+			}
+			seeds = append(seeds, p)
 		}
-		seeds = append(seeds, p)
+		return seeds, nil
 	}
-	return seeds, nil
+	if k := opts.Kernel; k != nil && k.Sequence() == s {
+		return k.cachedSeeds(q, opts.Capacity, compute)
+	}
+	return compute()
 }

@@ -31,11 +31,23 @@ const maxTwoOptPasses = 24
 // twoopt_reference_test.go). Intended as a polish pass after Chen or
 // ShiftsReduce, and as the optional '+2opt' ablation in bench_test.go.
 func TwoOpt(vars []int, s *trace.Sequence, a *trace.Analysis) []int {
+	return twoOptWithKernel(vars, s, nil)
+}
+
+// twoOptWithKernel is TwoOpt with an optional cost kernel: when kern
+// summarizes s, the per-DBC DeltaEvaluator setup derives from it in
+// O(nnz) instead of replaying the stream. Search behaviour is identical.
+func twoOptWithKernel(vars []int, s *trace.Sequence, kern *CostKernel) []int {
 	order := append([]int(nil), vars...)
 	if len(order) < 3 {
 		return order
 	}
-	e := NewDeltaEvaluator(s, order)
+	var e *DeltaEvaluator
+	if kern != nil && kern.Sequence() == s {
+		e = NewDeltaEvaluatorFromKernel(kern, order)
+	} else {
+		e = NewDeltaEvaluator(s, order)
+	}
 	if e.Accesses() < 2 {
 		return order
 	}

@@ -1,0 +1,50 @@
+// Package profiling is the shared pprof plumbing of the CLI tools: it
+// lets perf work on the experiment pipeline ship pprof evidence instead
+// of wall-clock anecdotes.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling and/or arms a heap-profile dump, returning
+// a stop function to run when the command finishes (idempotence is the
+// caller's concern — call it exactly once on every exit path). Empty
+// paths disable the respective profile.
+func Start(cpuPath, memPath string) (func(), error) {
+	stop := func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath == "" {
+		return stop, nil
+	}
+	cpuStop := stop
+	return func() {
+		cpuStop()
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize final live-set statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}, nil
+}
