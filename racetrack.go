@@ -260,8 +260,23 @@ func SimulateBenchmark(dev DeviceConfig, b *Benchmark, strategy Strategy, opts P
 // EnergyParams exposes the Table I row for a DBC count.
 func EnergyParams(dbcs int) (energy.Params, error) { return energy.ForDBCs(dbcs) }
 
-// ShiftCost evaluates a placement's shift cost without simulation.
+// ShiftCost evaluates a placement's shift cost without simulation by
+// replaying the access stream — the repository's cost oracle. Callers
+// that price many placements of one sequence should build a CostKernel
+// once instead.
 func ShiftCost(s *Sequence, p *Placement) (int64, error) { return placement.ShiftCost(s, p) }
+
+// CostKernel is the O(nnz) full-cost evaluator: a one-pass summary of a
+// sequence from which the exact shift cost of any placement is computed
+// without replaying the access stream (bit-identical to ShiftCost; see
+// DESIGN.md §8). Build one per sequence and share it freely — it is
+// immutable and safe for concurrent use. Custom strategies receive a
+// batch-shared kernel through StrategyOptions.Kernel when invoked via
+// the experiment engine.
+type CostKernel = placement.CostKernel
+
+// NewCostKernel summarizes the sequence into a cost kernel.
+func NewCostKernel(s *Sequence) *CostKernel { return placement.NewCostKernel(s) }
 
 // BenchmarkNames lists the synthetic OffsetStone workloads bundled with
 // the library (the 31 applications named in the paper's Fig. 4).
