@@ -1,0 +1,7 @@
+module apismoke
+
+go 1.23
+
+require repro v0.0.0
+
+replace repro => ../..

@@ -9,6 +9,7 @@
 package racetrack
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/eval"
@@ -50,7 +51,7 @@ func BenchmarkFig4(b *testing.B) {
 	var res *eval.Fig4Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.Fig4(cfg)
+		res, err = eval.Fig4(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func BenchmarkFig5(b *testing.B) {
 	var res *eval.Fig5Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.Fig5(cfg)
+		res, err = eval.Fig5(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func BenchmarkFig6(b *testing.B) {
 	var res *eval.Fig6Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.Fig6(cfg)
+		res, err = eval.Fig6(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func BenchmarkLatency(b *testing.B) {
 	var res *eval.LatencyResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.Latency(cfg)
+		res, err = eval.Latency(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +121,7 @@ func BenchmarkHeadline(b *testing.B) {
 	var res *eval.HeadlineResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.Headline(cfg)
+		res, err = eval.Headline(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func BenchmarkLongGA(b *testing.B) {
 	var res *eval.LongGAResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.LongGA(cfg, 60)
+		res, err = eval.LongGA(context.Background(), cfg, 60)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -361,7 +362,7 @@ func BenchmarkPortsSweep(b *testing.B) {
 	var res *eval.PortsResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = eval.PortsSweep(cfg, 4)
+		res, err = eval.PortsSweep(context.Background(), cfg, 4)
 		if err != nil {
 			b.Fatal(err)
 		}

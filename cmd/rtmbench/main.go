@@ -7,13 +7,19 @@
 //	rtmbench -exp fig4               # quick scale by default
 //	rtmbench -exp fig4 -full         # the paper's full GA/RW budgets (slow)
 //	rtmbench -exp all -out results.txt
+//	rtmbench -exp all -timeout 10m   # abort cleanly via context
 //
 // Experiments: table1, fig4, fig5, fig6, latency, headline, longga,
 // ports (extension: shifts vs access-port count), convergence (seeded vs
 // cold GA trajectories), tensor (LCTES'19-style contractions), all.
+//
+// rtmbench is written entirely against the public racetrack.Lab session
+// API: one Lab runs every experiment through Lab.Run with a typed
+// ExperimentSpec.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,8 +28,8 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/eval"
-	"repro/internal/profiling"
+	racetrack "repro"
+	"repro/cmd/internal/profiling"
 )
 
 func main() {
@@ -39,7 +45,9 @@ func main() {
 		csvDir     = flag.String("csv-dir", "", "also write each experiment's dataset as CSV into this directory")
 		maxPorts   = flag.Int("max-ports", 4, "port counts for the ports sweep")
 		workers    = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the experiment engine and GA fitness evaluation")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		convBench  = flag.String("convergence-benchmark", "", "benchmark for -exp convergence (default: whole-suite largest)")
+		progress   = flag.Bool("progress", false, "report every experiment cell as it finishes (stderr)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
 	)
@@ -52,9 +60,16 @@ func main() {
 	}
 	defer stopProfiles()
 
-	cfg := eval.Quick()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := racetrack.QuickConfig()
 	if *full {
-		cfg = eval.Full()
+		cfg = racetrack.FullConfig()
 	}
 	if *maxSeq > 0 {
 		cfg.MaxSequences = *maxSeq
@@ -68,9 +83,25 @@ func main() {
 	if *bench != "" {
 		cfg.Benchmarks = strings.Split(*bench, ",")
 	}
+	labOpts := []racetrack.Option{}
+	if *workers > 0 {
+		labOpts = append(labOpts, racetrack.WithWorkers(*workers))
+	}
 	if *workers > 1 {
 		cfg.GA.Workers = *workers
-		cfg.Parallel = *workers
+	}
+	if *progress {
+		labOpts = append(labOpts, racetrack.WithProgress(func(ev racetrack.ProgressEvent) {
+			if ev.Done && ev.Err == nil {
+				fmt.Fprintf(os.Stderr, "cell %d/%d %s q=%d: %d shifts\n",
+					ev.Cell+1, ev.Cells, ev.Strategy, ev.DBCs, ev.Shifts)
+			}
+		}))
+	}
+	lab, err := racetrack.New(labOpts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtmbench:", err)
+		os.Exit(1)
 	}
 
 	var w io.Writer = os.Stdout
@@ -90,111 +121,52 @@ func main() {
 	}
 	fmt.Fprintf(w, "rtmbench — scale: %s\n\n", scale)
 
-	run := func(name string, f func() (fmt.Stringer, error)) {
-		if *exp != "all" && *exp != name {
-			return
+	for _, e := range racetrack.Experiments() {
+		if *exp != "all" && *exp != string(e) {
+			continue
 		}
 		start := time.Now()
-		r, err := f()
+		res, err := lab.Run(ctx, racetrack.ExperimentSpec{
+			Experiment:  e,
+			Config:      cfg,
+			MaxPorts:    *maxPorts,
+			Generations: *longGen,
+			Benchmark:   *convBench,
+		})
 		if err != nil {
 			stopProfiles()
-			fmt.Fprintf(os.Stderr, "rtmbench: %s: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "rtmbench: %s: %v\n", e, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(w, "%s\n(%s in %v)\n\n", r, name, time.Since(start).Round(time.Millisecond))
+		if err := writeExperimentCSV(*csvDir, res); err != nil {
+			stopProfiles()
+			fmt.Fprintf(os.Stderr, "rtmbench: %s: %v\n", e, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%s\n(%s in %v)\n\n", res.Render(), e, time.Since(start).Round(time.Millisecond))
 	}
-
-	run("table1", func() (fmt.Stringer, error) {
-		return stringer(eval.Table1Render()), nil
-	})
-	run("fig4", func() (fmt.Stringer, error) {
-		r, err := eval.Fig4(cfg)
-		if err != nil {
-			return nil, err
-		}
-		if err := writeCSV(*csvDir, "fig4.csv", r.WriteCSV); err != nil {
-			return nil, err
-		}
-		return stringer(r.Render()), nil
-	})
-	run("fig5", func() (fmt.Stringer, error) {
-		r, err := eval.Fig5(cfg)
-		if err != nil {
-			return nil, err
-		}
-		if err := writeCSV(*csvDir, "fig5.csv", r.WriteCSV); err != nil {
-			return nil, err
-		}
-		return stringer(r.Render()), nil
-	})
-	run("fig6", func() (fmt.Stringer, error) {
-		r, err := eval.Fig6(cfg)
-		if err != nil {
-			return nil, err
-		}
-		if err := writeCSV(*csvDir, "fig6.csv", r.WriteCSV); err != nil {
-			return nil, err
-		}
-		return stringer(r.Render()), nil
-	})
-	run("ports", func() (fmt.Stringer, error) {
-		r, err := eval.PortsSweep(cfg, *maxPorts)
-		if err != nil {
-			return nil, err
-		}
-		if err := writeCSV(*csvDir, "ports.csv", r.WriteCSV); err != nil {
-			return nil, err
-		}
-		return stringer(r.Render()), nil
-	})
-	run("latency", func() (fmt.Stringer, error) {
-		r, err := eval.Latency(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return stringer(r.Render()), nil
-	})
-	run("headline", func() (fmt.Stringer, error) {
-		r, err := eval.Headline(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return stringer(r.Render()), nil
-	})
-	run("longga", func() (fmt.Stringer, error) {
-		r, err := eval.LongGA(cfg, *longGen)
-		if err != nil {
-			return nil, err
-		}
-		return stringer(r.Render()), nil
-	})
-	run("tensor", func() (fmt.Stringer, error) {
-		r, err := eval.Tensor(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return stringer(r.Render()), nil
-	})
-	run("convergence", func() (fmt.Stringer, error) {
-		r, err := eval.Convergence(cfg, *convBench)
-		if err != nil {
-			return nil, err
-		}
-		if err := writeCSV(*csvDir, "convergence.csv", func(w io.Writer) error { return r.WriteCSV(w) }); err != nil {
-			return nil, err
-		}
-		return stringer(r.Render()), nil
-	})
 }
 
-type stringer string
-
-func (s stringer) String() string { return string(s) }
-
-// writeCSV writes a dataset into dir/name when a CSV directory was
-// requested.
-func writeCSV(dir, name string, write func(io.Writer) error) error {
+// writeExperimentCSV writes the experiment's dataset into dir when a CSV
+// directory was requested and the dataset has a CSV form.
+func writeExperimentCSV(dir string, res *racetrack.ExperimentResult) error {
 	if dir == "" {
+		return nil
+	}
+	var write func(io.Writer) error
+	var name string
+	switch {
+	case res.Fig4 != nil:
+		name, write = "fig4.csv", res.Fig4.WriteCSV
+	case res.Fig5 != nil:
+		name, write = "fig5.csv", res.Fig5.WriteCSV
+	case res.Fig6 != nil:
+		name, write = "fig6.csv", res.Fig6.WriteCSV
+	case res.Ports != nil:
+		name, write = "ports.csv", res.Ports.WriteCSV
+	case res.Convergence != nil:
+		name, write = "convergence.csv", res.Convergence.WriteCSV
+	default:
 		return nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -5,10 +5,15 @@
 //
 //	rtmplace -strategy DMA-SR -dbcs 4 trace.txt
 //	echo "a b a b c c" | rtmplace -strategy AFD-OFU -dbcs 2 -
+//	rtmplace -strategy GA -timeout 30s trace.txt
 //
 // The trace format is whitespace-separated variable names, "!" suffix for
 // writes, optionally split into multiple sequences with "seq <name>"
 // lines (each sequence is placed independently).
+//
+// rtmplace is written entirely against the public racetrack.Lab session
+// API: it builds one Lab, places the benchmark through it and simulates
+// the placements on the selected Table I device.
 package main
 
 import (
@@ -19,13 +24,10 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
-	_ "repro" // registers the extension strategies (DMA-2opt)
-	"repro/internal/engine"
-	"repro/internal/placement"
-	"repro/internal/profiling"
-	"repro/internal/sim"
-	"repro/internal/trace"
+	racetrack "repro"
+	"repro/cmd/internal/profiling"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func main() {
 		rwIters    = flag.Int("rw-iterations", 60000, "random-walk iterations (strategy RW)")
 		seed       = flag.Int64("seed", 1, "PRNG seed for GA/RW")
 		workers    = flag.Int("workers", runtime.NumCPU(), "worker goroutines for placing sequences concurrently")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		verbose    = flag.Bool("v", false, "print the placement layout per sequence")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the placement run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
@@ -56,7 +59,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rtmplace:", err)
 		os.Exit(1)
 	}
-	if err := run(flag.Arg(0), *strategy, *format, *wordSize, *dbcs, *capacity, *gaGens, *gaMu, *rwIters, *workers, *seed, *verbose); err != nil {
+	cfg := runConfig{
+		path: flag.Arg(0), strategy: *strategy, format: *format,
+		wordBytes: *wordSize, dbcs: *dbcs, capacity: *capacity,
+		gaGens: *gaGens, gaMu: *gaMu, rwIters: *rwIters,
+		workers: *workers, seed: *seed, timeout: *timeout, verbose: *verbose,
+	}
+	if err := run(cfg); err != nil {
 		stopProfiles()
 		fmt.Fprintln(os.Stderr, "rtmplace:", err)
 		os.Exit(1)
@@ -67,92 +76,118 @@ func main() {
 // strategyNames lists every registered strategy for the flag help.
 func strategyNames() string {
 	var names []string
-	for _, id := range placement.Registered() {
+	for _, id := range racetrack.RegisteredStrategies() {
 		names = append(names, string(id))
 	}
 	return strings.Join(names, ", ")
 }
 
-func run(path, strategy, format string, wordSize, dbcs, capacity, gaGens, gaMu, rwIters, workers int, seed int64, verbose bool) error {
+// runConfig carries the flag values into run.
+type runConfig struct {
+	path      string
+	strategy  string
+	format    string
+	wordBytes int
+	dbcs      int
+	capacity  int
+	gaGens    int
+	gaMu      int
+	rwIters   int
+	workers   int
+	seed      int64
+	timeout   time.Duration
+	verbose   bool
+}
+
+func run(cfg runConfig) error {
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
 	var r io.Reader
-	name := path
-	if path == "-" {
+	name := cfg.path
+	if cfg.path == "-" {
 		r = os.Stdin
 		name = "stdin"
 	} else {
-		f, err := os.Open(path)
+		f, err := os.Open(cfg.path)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		r = f
 	}
-	var b *trace.Benchmark
-	switch format {
+	var b *racetrack.Benchmark
+	switch cfg.format {
 	case "vars":
 		var err error
-		b, err = trace.Parse(name, r)
+		b, err = racetrack.ReadBenchmark(name, r)
 		if err != nil {
 			return err
 		}
 	case "addr":
-		s, err := trace.ParseAddressTrace(r, wordSize)
+		s, err := racetrack.ReadAddressTrace(r, cfg.wordBytes)
 		if err != nil {
 			return err
 		}
-		b = &trace.Benchmark{Name: name, Sequences: []*trace.Sequence{s}}
+		b = &racetrack.Benchmark{Name: name, Sequences: []*racetrack.Sequence{s}}
 	default:
-		return fmt.Errorf("unknown -format %q (want 'vars' or 'addr')", format)
+		return fmt.Errorf("unknown -format %q (want 'vars' or 'addr')", cfg.format)
 	}
 	if len(b.Sequences) == 0 {
 		return fmt.Errorf("no access sequences in %s", name)
 	}
 
-	ga := placement.DefaultGAConfig()
-	ga.Generations = gaGens
-	ga.Mu, ga.Lambda = gaMu, gaMu
-	ga.Seed = seed
-	opts := placement.Options{
-		Capacity: capacity,
-		GA:       ga,
-		RW:       placement.RWConfig{Iterations: rwIters, Seed: seed},
+	workers := cfg.workers
+	if workers < 1 {
+		workers = 1
 	}
-
-	id := placement.StrategyID(strategy)
-	fmt.Printf("%s: %d sequence(s), strategy %s, %d DBCs\n", name, len(b.Sequences), id, dbcs)
-
-	// Sequences are independent placement problems: fan them out on the
-	// shared experiment engine and report in input order.
-	jobs := make([]engine.PlaceJob, len(b.Sequences))
-	for i, s := range b.Sequences {
-		jobs[i] = engine.PlaceJob{Sequence: s, Strategy: id, DBCs: dbcs, Options: opts}
-	}
-	out, err := engine.BatchPlace(context.Background(), jobs, workers)
+	lab, err := racetrack.New(racetrack.WithWorkers(workers))
 	if err != nil {
 		return err
 	}
-	var totalShifts int64
-	placements := make([]*placement.Placement, len(b.Sequences))
+
+	ga := racetrack.DefaultGAConfig()
+	ga.Generations = cfg.gaGens
+	ga.Mu, ga.Lambda = cfg.gaMu, cfg.gaMu
+	ga.Seed = cfg.seed
+	opts := racetrack.PlaceOptions{
+		Strategy: racetrack.Strategy(cfg.strategy),
+		DBCs:     cfg.dbcs,
+		Capacity: cfg.capacity,
+		GA:       ga,
+		RW:       racetrack.RWConfig{Iterations: cfg.rwIters, Seed: cfg.seed},
+	}
+
+	fmt.Printf("%s: %d sequence(s), strategy %s, %d DBCs\n", name, len(b.Sequences), opts.Strategy, cfg.dbcs)
+
+	// Sequences are independent placement problems: the Lab fans them out
+	// on the shared experiment engine and reports in input order.
+	res, err := lab.PlaceBenchmark(ctx, b, opts)
+	if err != nil {
+		return err
+	}
 	for i, s := range b.Sequences {
-		placements[i] = out[i].Placement
-		totalShifts += out[i].Shifts
 		fmt.Printf("  seq %d: %d accesses, %d variables -> %d shifts\n",
-			i, s.Len(), len(s.Distinct()), out[i].Shifts)
-		if verbose {
-			fmt.Printf("    %s\n", placements[i].Render(s))
+			i, s.Len(), len(s.Distinct()), res.Results[i].Shifts)
+		if cfg.verbose {
+			fmt.Printf("    %s\n", res.Results[i].Placement.Render(s))
 		}
 	}
-	fmt.Printf("total shifts: %d\n", totalShifts)
+	fmt.Printf("total shifts: %d\n", res.TotalShifts)
 
 	// Energy/latency when a Table I configuration was selected.
-	cfg, err := sim.TableIConfig(dbcs)
+	dev, err := racetrack.TableIDevice(cfg.dbcs)
 	if err != nil {
-		fmt.Printf("(no Table I energy model for %d DBCs; shift count only)\n", dbcs)
+		fmt.Printf("(no Table I energy model for %d DBCs; shift count only)\n", cfg.dbcs)
 		return nil
 	}
-	var agg sim.Result
+	var agg racetrack.SimResult
 	for i, s := range b.Sequences {
-		r, err := sim.RunSequence(cfg, s, placements[i])
+		r, err := lab.SimulateOn(ctx, dev, s, res.Results[i].Placement)
 		if err != nil {
 			return err
 		}

@@ -1,11 +1,17 @@
-// Example custom_strategy plugs a user-defined placement strategy into
-// the registry through the public racetrack.RegisterStrategy hook and
-// races it against the paper's heuristics and the built-in DMA-2opt
-// extension, using PlaceBenchmark to fan the benchmark's sequences out on
-// the shared experiment engine.
+// Example custom_strategy plugs a user-defined placement strategy into a
+// racetrack.Lab's instance registry and races it against the paper's
+// heuristics and the built-in DMA-2opt extension, using the Lab's
+// PlaceBenchmark to fan the benchmark's sequences out on the shared
+// experiment engine.
+//
+// It also demonstrates the instance scoping the session API exists for:
+// a second Lab registers a *different* strategy under the same name, and
+// the two Labs run concurrently without interfering — with a process-
+// global registry this would be a name collision.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -16,7 +22,7 @@ import (
 // placeRoundRobin is the custom strategy: distribute variables over DBCs
 // round-robin in order of first use. It is deliberately naive — the point
 // is that a strategy written purely against the public API participates
-// in every driver that resolves strategies by name.
+// in every driver of its Lab that resolves strategies by name.
 func placeRoundRobin(s *racetrack.Sequence, q int, opts racetrack.StrategyOptions) (*racetrack.Placement, int64, error) {
 	p := &racetrack.Placement{DBC: make([][]int, q)}
 	seen := make(map[int]bool)
@@ -43,8 +49,37 @@ func placeRoundRobin(s *racetrack.Sequence, q int, opts racetrack.StrategyOption
 	return p, c, err
 }
 
+// placeSingleDBC is a second, even-more-naive strategy registered in a
+// *different* Lab under the same name, to show registries are scoped per
+// session.
+func placeSingleDBC(s *racetrack.Sequence, q int, opts racetrack.StrategyOptions) (*racetrack.Placement, int64, error) {
+	p := &racetrack.Placement{DBC: make([][]int, q)}
+	seen := make(map[int]bool)
+	for _, a := range s.Accesses {
+		if !seen[a.Var] {
+			seen[a.Var] = true
+			p.DBC[0] = append(p.DBC[0], a.Var)
+		}
+	}
+	c, err := racetrack.ShiftCost(s, p)
+	return p, c, err
+}
+
 func main() {
-	if err := racetrack.RegisterStrategy("RR-FirstUse", placeRoundRobin); err != nil {
+	ctx := context.Background()
+
+	labA, err := racetrack.New(
+		racetrack.WithWorkers(runtime.NumCPU()),
+		racetrack.WithStrategy("custom", placeRoundRobin),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labB, err := racetrack.New(
+		racetrack.WithWorkers(runtime.NumCPU()),
+		racetrack.WithStrategy("custom", placeSingleDBC),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -57,16 +92,25 @@ func main() {
 		bench.Name, len(bench.Sequences), runtime.NumCPU())
 	fmt.Printf("%-12s %12s\n", "strategy", "shifts")
 	for _, id := range []racetrack.Strategy{
-		"RR-FirstUse", racetrack.AFDOFU, racetrack.DMASR, racetrack.DMA2Opt,
+		"custom", racetrack.AFDOFU, racetrack.DMASR, racetrack.DMA2Opt,
 	} {
-		res, err := racetrack.PlaceBenchmark(bench, racetrack.PlaceOptions{
+		res, err := labA.PlaceBenchmark(ctx, bench, racetrack.PlaceOptions{
 			Strategy: id,
 			DBCs:     4,
-			Workers:  runtime.NumCPU(),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-12s %12d\n", id, res.TotalShifts)
 	}
+
+	// The same name resolves to a different algorithm in the other Lab.
+	resB, err := labB.PlaceBenchmark(ctx, bench, racetrack.PlaceOptions{
+		Strategy: "custom", DBCs: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsecond Lab, same name %q, different algorithm: %d shifts\n",
+		"custom", resB.TotalShifts)
 }

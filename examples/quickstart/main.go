@@ -1,15 +1,18 @@
-// Quickstart: reproduce the paper's worked example (Fig. 3).
+// Quickstart: reproduce the paper's worked example (Fig. 3) through the
+// racetrack.Lab session API.
 //
 // The figure places nine variables into two DBCs in two ways: the AFD
 // baseline layout [a g b d h | e i c f] costs 24 + 15 = 39 shifts, and the
 // paper's sequence-aware layout [b c d e h | a f g i] costs 4 + 7 = 11.
 // This example first verifies that arithmetic with hand-built placements,
-// then runs every strategy of the library on the same trace.
+// then lets one Lab run every strategy of the library on the same trace
+// and simulate the result on the paper's 2-DBC Table I device.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +20,17 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
+	// One Lab is one session: its own strategy registry, the 2-DBC
+	// Table I device as the default, and a kernel cache that makes the
+	// repeated pricing of this trace below (eight strategies, one
+	// sequence) essentially free after the first call.
+	lab, err := racetrack.New(racetrack.WithDevice(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// The access sequence of Fig. 3-(b): nine variables a..i, 24 accesses.
 	seq, err := racetrack.ParseSequence(
 		"a b a b c a c a d d a i e f e f g e g h g i h i")
@@ -61,14 +75,14 @@ func main() {
 			x.name, x.p.Render(seq), cost, x.want)
 	}
 
-	// Now let the library place the trace itself with every strategy. The
-	// evaluated AFD-OFU strategy additionally reorders each DBC by first
-	// use, so it lands below the figure's raw 39.
+	// Now let the Lab place the trace itself with every registered
+	// strategy — the paper's six plus the DMA-2opt/GA-2opt extensions.
+	// The evaluated AFD-OFU strategy additionally reorders each DBC by
+	// first use, so it lands below the figure's raw 39.
 	fmt.Println()
-	for _, strategy := range racetrack.Strategies() {
-		res, err := racetrack.PlaceTrace(seq, racetrack.PlaceOptions{
+	for _, strategy := range lab.RegisteredStrategies() {
+		res, err := lab.Place(ctx, seq, racetrack.PlaceOptions{
 			Strategy: strategy,
-			DBCs:     2,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -77,19 +91,15 @@ func main() {
 			strategy, res.Shifts, res.Placement.Render(seq))
 	}
 
-	// Simulate the DMA placement on the paper's 2-DBC 4 KiB device to get
-	// latency and energy from the Table I model.
-	res, err := racetrack.PlaceTrace(seq, racetrack.PlaceOptions{
-		Strategy: racetrack.DMAOFU, DBCs: 2,
+	// Simulate the DMA placement on the Lab's device (the paper's 2-DBC
+	// 4 KiB configuration) to get latency and energy from Table I.
+	res, err := lab.Place(ctx, seq, racetrack.PlaceOptions{
+		Strategy: racetrack.DMAOFU,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	dev, err := racetrack.TableIDevice(2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sim, err := racetrack.Simulate(dev, seq, res.Placement)
+	sim, err := lab.Simulate(ctx, seq, res.Placement)
 	if err != nil {
 		log.Fatal(err)
 	}

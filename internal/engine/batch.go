@@ -9,6 +9,65 @@ import (
 	"repro/internal/trace"
 )
 
+// Hooks customizes how a batch resolves, prices and reports its cells.
+// The zero value reproduces the plain batch behaviour: strategies resolve
+// against the process-wide registry, kernels are built per batch, and no
+// progress is reported. The public session API (racetrack.Lab) supplies
+// all three so instance registries, the content-addressed kernel cache
+// and progress callbacks reach every worker.
+type Hooks struct {
+	// Resolve maps a strategy name to its implementation. Nil means the
+	// process-wide placement registry.
+	Resolve func(placement.StrategyID) (placement.Strategy, bool)
+	// Progress, when non-nil, is called from worker goroutines as cells
+	// start and finish; it must be safe for concurrent use.
+	Progress func(Event)
+	// Kernel, when non-nil, supplies the cost kernel for a sequence
+	// (called once per distinct sequence per batch, possibly
+	// concurrently). The returned kernel must be bound to exactly the
+	// given sequence — content-addressed caches rebind before returning.
+	// Nil means build a fresh kernel per batch.
+	Kernel func(*trace.Sequence) *placement.CostKernel
+}
+
+// resolve returns the effective strategy resolver.
+func (h Hooks) resolve() func(placement.StrategyID) (placement.Strategy, bool) {
+	if h.Resolve != nil {
+		return h.Resolve
+	}
+	return placement.LookupStrategy
+}
+
+// Place resolves the named strategy through the hooks' resolver and
+// runs it — the single place the batch layer (and the eval drivers'
+// inline probes) turn a strategy name into a placement.
+func (h Hooks) Place(id placement.StrategyID, s *trace.Sequence, q int, opts placement.Options) (*placement.Placement, int64, error) {
+	st, ok := h.resolve()(id)
+	if !ok {
+		return nil, 0, fmt.Errorf("placement: unknown strategy %q", id)
+	}
+	return st.Place(s, q, opts)
+}
+
+// An Event reports the life cycle of one batch cell to the Progress hook:
+// once with Done == false when a worker picks the cell up, and once with
+// Done == true (carrying the shift count or the error) when it finishes.
+type Event struct {
+	// Index identifies the cell within its batch of Total cells.
+	Index, Total int
+	// Sequence, Strategy and DBCs describe the cell's work item.
+	Sequence *trace.Sequence
+	Strategy placement.StrategyID
+	DBCs     int
+	// Done distinguishes the started (false) from the finished (true)
+	// notification.
+	Done bool
+	// Shifts is the cell's shift cost, valid when Done && Err == nil.
+	Shifts int64
+	// Err is the cell's failure, if any, on the finished notification.
+	Err error
+}
+
 // A PlaceJob is one placement cell: run one registry strategy on one
 // sequence at one DBC count.
 type PlaceJob struct {
@@ -36,14 +95,26 @@ type PlaceOutcome struct {
 // replaying the access stream. Costs are bit-identical either way, so
 // batch results do not depend on the sharing.
 func BatchPlace(ctx context.Context, jobs []PlaceJob, workers int) ([]PlaceOutcome, error) {
-	kernels, err := batchKernels(ctx, len(jobs), workers, func(i int) *trace.Sequence { return jobs[i].Sequence })
+	return BatchPlaceWith(ctx, jobs, workers, Hooks{})
+}
+
+// BatchPlaceWith is BatchPlace with resolution, kernel sourcing and
+// progress reporting customized by hooks.
+func BatchPlaceWith(ctx context.Context, jobs []PlaceJob, workers int, hooks Hooks) ([]PlaceOutcome, error) {
+	kernels, err := batchKernels(ctx, len(jobs), workers, hooks, func(i int) *trace.Sequence { return jobs[i].Sequence })
 	if err != nil {
 		return nil, err
 	}
 	return Map(ctx, len(jobs), workers, func(_ context.Context, i int) (PlaceOutcome, error) {
 		j := jobs[i]
+		if hooks.Progress != nil {
+			hooks.Progress(Event{Index: i, Total: len(jobs), Sequence: j.Sequence, Strategy: j.Strategy, DBCs: j.DBCs})
+		}
 		j.Options.Kernel = kernels[j.Sequence]
-		p, c, err := placement.Place(j.Strategy, j.Sequence, j.DBCs, j.Options)
+		p, c, err := hooks.Place(j.Strategy, j.Sequence, j.DBCs, j.Options)
+		if hooks.Progress != nil {
+			hooks.Progress(Event{Index: i, Total: len(jobs), Sequence: j.Sequence, Strategy: j.Strategy, DBCs: j.DBCs, Done: true, Shifts: c, Err: err})
+		}
 		if err != nil {
 			return PlaceOutcome{}, fmt.Errorf("engine: cell %d (%s, q=%d): %w", i, j.Strategy, j.DBCs, err)
 		}
@@ -53,8 +124,10 @@ func BatchPlace(ctx context.Context, jobs []PlaceJob, workers int) ([]PlaceOutco
 
 // batchKernels builds the per-sequence cost kernels of a batch: one per
 // distinct sequence (pointer identity), constructed concurrently through
-// the same deterministic worker pool the batch itself runs on.
-func batchKernels(ctx context.Context, n, workers int, seqAt func(i int) *trace.Sequence) (map[*trace.Sequence]*placement.CostKernel, error) {
+// the same deterministic worker pool the batch itself runs on. When the
+// hooks supply a kernel source (the session kernel cache), it is
+// consulted instead of building from scratch.
+func batchKernels(ctx context.Context, n, workers int, hooks Hooks, seqAt func(i int) *trace.Sequence) (map[*trace.Sequence]*placement.CostKernel, error) {
 	var distinct []*trace.Sequence
 	kernels := make(map[*trace.Sequence]*placement.CostKernel, 8)
 	for i := 0; i < n; i++ {
@@ -67,8 +140,12 @@ func batchKernels(ctx context.Context, n, workers int, seqAt func(i int) *trace.
 			distinct = append(distinct, s)
 		}
 	}
+	source := hooks.Kernel
+	if source == nil {
+		source = placement.NewCostKernel
+	}
 	built, err := Map(ctx, len(distinct), workers, func(_ context.Context, i int) (*placement.CostKernel, error) {
-		return placement.NewCostKernel(distinct[i]), nil
+		return source(distinct[i]), nil
 	})
 	if err != nil {
 		return nil, err
@@ -95,16 +172,33 @@ type SimJob struct {
 // BatchPlace, one cost kernel per distinct sequence is shared across the
 // cells' placement phases.
 func BatchSimulate(ctx context.Context, jobs []SimJob, workers int) ([]sim.Result, error) {
-	kernels, err := batchKernels(ctx, len(jobs), workers, func(i int) *trace.Sequence { return jobs[i].Sequence })
+	return BatchSimulateWith(ctx, jobs, workers, Hooks{})
+}
+
+// BatchSimulateWith is BatchSimulate with resolution, kernel sourcing and
+// progress reporting customized by hooks.
+func BatchSimulateWith(ctx context.Context, jobs []SimJob, workers int, hooks Hooks) ([]sim.Result, error) {
+	kernels, err := batchKernels(ctx, len(jobs), workers, hooks, func(i int) *trace.Sequence { return jobs[i].Sequence })
 	if err != nil {
 		return nil, err
 	}
 	return Map(ctx, len(jobs), workers, func(_ context.Context, i int) (sim.Result, error) {
 		j := jobs[i]
+		q := j.Config.Geometry.DBCs()
+		if hooks.Progress != nil {
+			hooks.Progress(Event{Index: i, Total: len(jobs), Sequence: j.Sequence, Strategy: j.Strategy, DBCs: q})
+		}
 		j.Options.Kernel = kernels[j.Sequence]
-		r, err := sim.RunCell(j.Config, j.Sequence, j.Strategy, j.Options)
+		var r sim.Result
+		p, _, err := hooks.Place(j.Strategy, j.Sequence, q, j.Options)
+		if err == nil {
+			r, err = sim.RunSequence(j.Config, j.Sequence, p)
+		}
+		if hooks.Progress != nil {
+			hooks.Progress(Event{Index: i, Total: len(jobs), Sequence: j.Sequence, Strategy: j.Strategy, DBCs: q, Done: true, Shifts: r.Counts.Shifts, Err: err})
+		}
 		if err != nil {
-			return sim.Result{}, fmt.Errorf("engine: cell %d (%s, q=%d): %w", i, j.Strategy, j.Config.Geometry.DBCs(), err)
+			return sim.Result{}, fmt.Errorf("engine: cell %d (%s, q=%d): %w", i, j.Strategy, q, err)
 		}
 		return r, nil
 	})

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -26,7 +27,7 @@ type ConvergenceResult struct {
 
 // Convergence runs the two GA variants on the largest sequence of the
 // named benchmark (or of the whole suite when name is empty).
-func Convergence(cfg Config, name string) (*ConvergenceResult, error) {
+func Convergence(ctx context.Context, cfg Config, name string) (*ConvergenceResult, error) {
 	if name != "" {
 		cfg.Benchmarks = []string{name}
 	}
@@ -53,7 +54,7 @@ func Convergence(cfg Config, name string) (*ConvergenceResult, error) {
 	res.HeuristicCost = int64(-1)
 	var seeds []*placement.Placement
 	for _, id := range placement.HeuristicStrategies() {
-		p, c, err := placement.Place(id, seq, q, opts)
+		p, c, err := cfg.place(ctx, id, seq, q, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -63,6 +64,9 @@ func Convergence(cfg Config, name string) (*ConvergenceResult, error) {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	seeded := cfg.GA
 	seeded.Seeds = seeds
 	r1, err := placement.GA(seq, q, seeded)
@@ -71,6 +75,9 @@ func Convergence(cfg Config, name string) (*ConvergenceResult, error) {
 	}
 	res.Seeded = r1.History
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cold := cfg.GA
 	cold.Seeds = nil
 	r2, err := placement.GA(seq, q, cold)

@@ -11,10 +11,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/offsetstone"
 	"repro/internal/placement"
 	"repro/internal/trace"
@@ -44,6 +46,12 @@ type Config struct {
 	// run concurrently (0 or 1 = sequential). Results are deterministic
 	// regardless of the worker count.
 	Parallel int
+	// Hooks customizes strategy resolution, kernel sourcing and progress
+	// reporting for every cell the drivers dispatch. The zero value uses
+	// the process-wide registry with per-batch kernels and no progress.
+	// The public session API (racetrack.Lab) threads its instance
+	// registry, kernel cache and progress callback through here.
+	Hooks engine.Hooks
 }
 
 // Full returns the paper's published experiment scale: all benchmarks,
@@ -134,6 +142,16 @@ func (c Config) workers() int {
 		return 1
 	}
 	return c.Parallel
+}
+
+// place runs one strategy on one sequence outside the batch layer (the
+// probes that place a handful of cells inline), honoring the configured
+// resolver hook and bailing out on a cancelled context.
+func (c Config) place(ctx context.Context, id placement.StrategyID, s *trace.Sequence, q int, opts placement.Options) (*placement.Placement, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return c.Hooks.Place(id, s, q, opts)
 }
 
 // Geomean returns the geometric mean of strictly positive values; zero or

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -79,7 +80,7 @@ func TestSuiteFiltering(t *testing.T) {
 }
 
 func TestFig4TinyRun(t *testing.T) {
-	res, err := Fig4(tinyConfig())
+	res, err := Fig4(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestFig4TinyRun(t *testing.T) {
 }
 
 func TestFig5TinyRun(t *testing.T) {
-	res, err := Fig5(tinyConfig())
+	res, err := Fig5(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFig5TinyRun(t *testing.T) {
 }
 
 func TestLatencyTinyRun(t *testing.T) {
-	res, err := Latency(tinyConfig())
+	res, err := Latency(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestLatencyTinyRun(t *testing.T) {
 func TestFig6TinyRun(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.DBCCounts = []int{2, 4, 8, 16}
-	res, err := Fig6(cfg)
+	res, err := Fig6(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestTable1Render(t *testing.T) {
 }
 
 func TestHeadlineTinyRun(t *testing.T) {
-	res, err := Headline(tinyConfig())
+	res, err := Headline(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestHeadlineTinyRun(t *testing.T) {
 
 func TestLongGATinyRun(t *testing.T) {
 	cfg := tinyConfig()
-	res, err := LongGA(cfg, 15)
+	res, err := LongGA(context.Background(), cfg, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestLongGATinyRun(t *testing.T) {
 
 func TestConvergence(t *testing.T) {
 	cfg := tinyConfig()
-	res, err := Convergence(cfg, "dspstone")
+	res, err := Convergence(context.Background(), cfg, "dspstone")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestConvergence(t *testing.T) {
 	if n := strings.Count(sb.String(), "\n"); n != cfg.GA.Generations+1 {
 		t.Errorf("csv rows = %d", n)
 	}
-	if _, err := Convergence(cfg, "nope"); err == nil {
+	if _, err := Convergence(context.Background(), cfg, "nope"); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -280,11 +281,11 @@ func TestFig4ParallelDeterministic(t *testing.T) {
 	seq := tinyConfig()
 	par := tinyConfig()
 	par.Parallel = 4
-	r1, err := Fig4(seq)
+	r1, err := Fig4(context.Background(), seq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Fig4(par)
+	r2, err := Fig4(context.Background(), par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestFig4ParallelDeterministic(t *testing.T) {
 }
 
 func TestTensorExperiment(t *testing.T) {
-	res, err := Tensor(tinyConfig())
+	res, err := Tensor(context.Background(), tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,8 +41,9 @@ type Fig4Result struct {
 }
 
 // Fig4 regenerates the Fig. 4 experiment: all six strategies on every
-// benchmark for every configured DBC count.
-func Fig4(cfg Config) (*Fig4Result, error) {
+// benchmark for every configured DBC count. The context cancels the
+// remaining cells.
+func Fig4(ctx context.Context, cfg Config) (*Fig4Result, error) {
 	suite, err := cfg.suite()
 	if err != nil {
 		return nil, err
@@ -68,7 +69,7 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 			}
 		}
 	}
-	out, err := engine.BatchPlace(context.Background(), jobs, cfg.workers())
+	out, err := engine.BatchPlaceWith(ctx, jobs, cfg.workers(), cfg.Hooks)
 	if err != nil {
 		return nil, fmt.Errorf("eval: fig4: %w", err)
 	}

@@ -19,7 +19,7 @@ import (
 // drivers; per-sequence results fold into per-benchmark subtotals in
 // sequence order, matching the aggregation of the pre-engine drivers
 // bit-for-bit.
-func simGrid(cfg Config, suite []*trace.Benchmark, strategies []placement.StrategyID) ([]sim.Result, error) {
+func simGrid(ctx context.Context, cfg Config, suite []*trace.Benchmark, strategies []placement.StrategyID) ([]sim.Result, error) {
 	opts := cfg.options()
 	type cellKey struct{ qi, bi, si int }
 	var jobs []engine.SimJob
@@ -38,7 +38,7 @@ func simGrid(cfg Config, suite []*trace.Benchmark, strategies []placement.Strate
 			}
 		}
 	}
-	out, err := engine.BatchSimulate(context.Background(), jobs, cfg.workers())
+	out, err := engine.BatchSimulateWith(ctx, jobs, cfg.workers(), cfg.Hooks)
 	if err != nil {
 		return nil, err
 	}
@@ -101,13 +101,13 @@ type Fig5Result struct {
 // Fig5 regenerates the energy-breakdown experiment by simulating the suite
 // under each strategy and Table I configuration, one engine cell per
 // sequence.
-func Fig5(cfg Config) (*Fig5Result, error) {
+func Fig5(ctx context.Context, cfg Config) (*Fig5Result, error) {
 	suite, err := cfg.suite()
 	if err != nil {
 		return nil, err
 	}
 	strategies := EnergyStrategies()
-	grid, err := simGrid(cfg, suite, strategies)
+	grid, err := simGrid(ctx, cfg, suite, strategies)
 	if err != nil {
 		return nil, fmt.Errorf("eval: fig5: %w", err)
 	}
@@ -194,13 +194,13 @@ func LatencyStrategies() []placement.StrategyID {
 
 // Latency regenerates the section IV-C latency comparison through the
 // same engine grid as Fig. 5.
-func Latency(cfg Config) (*LatencyResult, error) {
+func Latency(ctx context.Context, cfg Config) (*LatencyResult, error) {
 	suite, err := cfg.suite()
 	if err != nil {
 		return nil, err
 	}
 	all := append([]placement.StrategyID{placement.StrategyAFDOFU}, LatencyStrategies()...)
-	grid, err := simGrid(cfg, suite, all)
+	grid, err := simGrid(ctx, cfg, suite, all)
 	if err != nil {
 		return nil, fmt.Errorf("eval: latency: %w", err)
 	}

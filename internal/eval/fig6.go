@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -42,13 +43,13 @@ type Fig6Result struct {
 
 // Fig6 regenerates the DBC-count trade-off study for DMA-SR, one engine
 // cell per (DBC count × strategy × sequence).
-func Fig6(cfg Config) (*Fig6Result, error) {
+func Fig6(ctx context.Context, cfg Config) (*Fig6Result, error) {
 	suite, err := cfg.suite()
 	if err != nil {
 		return nil, err
 	}
 	strategies := []placement.StrategyID{placement.StrategyDMASR, placement.StrategyAFDOFU}
-	grid, err := simGrid(cfg, suite, strategies)
+	grid, err := simGrid(ctx, cfg, suite, strategies)
 	if err != nil {
 		return nil, fmt.Errorf("eval: fig6: %w", err)
 	}

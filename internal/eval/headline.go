@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,7 +23,7 @@ type HeadlineResult struct {
 }
 
 // Headline computes the abstract-level aggregates.
-func Headline(cfg Config) (*HeadlineResult, error) {
+func Headline(ctx context.Context, cfg Config) (*HeadlineResult, error) {
 	suite, err := cfg.suite()
 	if err != nil {
 		return nil, err
@@ -30,7 +31,7 @@ func Headline(cfg Config) (*HeadlineResult, error) {
 	// The abstract's aggregates need per-benchmark ratios, which the
 	// simGrid granularity provides directly.
 	strategies := []placement.StrategyID{placement.StrategyAFDOFU, placement.StrategyDMASR}
-	grid, err := simGrid(cfg, suite, strategies)
+	grid, err := simGrid(ctx, cfg, suite, strategies)
 	if err != nil {
 		return nil, fmt.Errorf("eval: headline: %w", err)
 	}
@@ -77,7 +78,7 @@ type LongGAResult struct {
 
 // LongGA runs the probe. generations overrides the configured GA budget
 // (the paper uses 2000); the DBC count is the first configured one.
-func LongGA(cfg Config, generations int) (*LongGAResult, error) {
+func LongGA(ctx context.Context, cfg Config, generations int) (*LongGAResult, error) {
 	suite, err := cfg.suite()
 	if err != nil {
 		return nil, err
@@ -101,7 +102,7 @@ func LongGA(cfg Config, generations int) (*LongGAResult, error) {
 	best := placement.StrategyID("")
 	var bestCost int64 = -1
 	for _, id := range placement.HeuristicStrategies() {
-		_, c, err := placement.Place(id, seq, q, opts)
+		_, c, err := cfg.place(ctx, id, seq, q, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +115,7 @@ func LongGA(cfg Config, generations int) (*LongGAResult, error) {
 	ga.Generations = generations
 	gaOpts := opts
 	gaOpts.GA = ga
-	_, gaCost, err := placement.Place(placement.StrategyGA, seq, q, gaOpts)
+	_, gaCost, err := cfg.place(ctx, placement.StrategyGA, seq, q, gaOpts)
 	if err != nil {
 		return nil, err
 	}

@@ -31,7 +31,7 @@ type PortsResult struct {
 
 // PortsSweep evaluates shift counts for 1..maxPorts access ports per
 // track at the first configured DBC count.
-func PortsSweep(cfg Config, maxPorts int) (*PortsResult, error) {
+func PortsSweep(ctx context.Context, cfg Config, maxPorts int) (*PortsResult, error) {
 	if maxPorts < 1 {
 		return nil, fmt.Errorf("eval: maxPorts must be >= 1, got %d", maxPorts)
 	}
@@ -56,7 +56,7 @@ func PortsSweep(cfg Config, maxPorts int) (*PortsResult, error) {
 			engine.PlaceJob{Sequence: s, Strategy: placement.StrategyAFDOFU, DBCs: q, Options: opts},
 			engine.PlaceJob{Sequence: s, Strategy: placement.StrategyDMASR, DBCs: q, Options: opts})
 	}
-	placed, err := engine.BatchPlace(context.Background(), jobs, cfg.workers())
+	placed, err := engine.BatchPlaceWith(ctx, jobs, cfg.workers(), cfg.Hooks)
 	if err != nil {
 		return nil, fmt.Errorf("eval: ports: %w", err)
 	}
@@ -64,7 +64,7 @@ func PortsSweep(cfg Config, maxPorts int) (*PortsResult, error) {
 	res := &PortsResult{DBCs: q}
 	for ports := 1; ports <= maxPorts; ports++ {
 		type pair struct{ afd, dma int64 }
-		costs, err := engine.Map(context.Background(), len(seqs), cfg.workers(),
+		costs, err := engine.Map(ctx, len(seqs), cfg.workers(),
 			func(_ context.Context, i int) (pair, error) {
 				s := seqs[i]
 				pa, pd := placed[2*i].Placement, placed[2*i+1].Placement

@@ -1,13 +1,14 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestPortsSweep(t *testing.T) {
 	cfg := tinyConfig()
-	res, err := PortsSweep(cfg, 3)
+	res, err := PortsSweep(context.Background(), cfg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestPortsSweep(t *testing.T) {
 	if !strings.Contains(res.Render(), "Ports sweep") {
 		t.Error("render missing header")
 	}
-	if _, err := PortsSweep(cfg, 0); err == nil {
+	if _, err := PortsSweep(context.Background(), cfg, 0); err == nil {
 		t.Error("maxPorts=0 accepted")
 	}
 }
@@ -39,7 +40,7 @@ func TestPortsSweep(t *testing.T) {
 func TestCSVExports(t *testing.T) {
 	cfg := tinyConfig()
 
-	f4, err := Fig4(cfg)
+	f4, err := Fig4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestCSVExports(t *testing.T) {
 		t.Errorf("fig4 csv header = %q", lines[0])
 	}
 
-	f5, err := Fig5(cfg)
+	f5, err := Fig5(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestCSVExports(t *testing.T) {
 		t.Errorf("fig5 csv rows = %d, want %d", n, len(f5.Cells)+1)
 	}
 
-	f6, err := Fig6(cfg)
+	f6, err := Fig6(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestCSVExports(t *testing.T) {
 		t.Error("fig6 csv missing header")
 	}
 
-	ports, err := PortsSweep(cfg, 2)
+	ports, err := PortsSweep(context.Background(), cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

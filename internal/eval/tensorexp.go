@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,7 +28,7 @@ type TensorResult struct {
 
 // Tensor runs the bundled contraction suite at the first configured DBC
 // count.
-func Tensor(cfg Config) (*TensorResult, error) {
+func Tensor(ctx context.Context, cfg Config) (*TensorResult, error) {
 	q := cfg.DBCCounts[0]
 	opts := cfg.options()
 	res := &TensorResult{DBCs: q}
@@ -36,11 +37,11 @@ func Tensor(cfg Config) (*TensorResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, afd, err := placement.Place(placement.StrategyAFDOFU, seq, q, opts)
+		_, afd, err := cfg.place(ctx, placement.StrategyAFDOFU, seq, q, opts)
 		if err != nil {
 			return nil, err
 		}
-		_, sr, err := placement.Place(placement.StrategyDMASR, seq, q, opts)
+		_, sr, err := cfg.place(ctx, placement.StrategyDMASR, seq, q, opts)
 		if err != nil {
 			return nil, err
 		}

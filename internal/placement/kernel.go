@@ -71,34 +71,47 @@ type CostKernel struct {
 	varOrder     []int32
 	rowLo, rowHi []int32
 
+	// accCnt[v] counts v's accesses — the per-variable weight that lets
+	// Breakdown attribute access counts per DBC and detect accessed-but-
+	// unplaced variables without replaying the stream.
+	accCnt []int64
+
 	// Shared per-sequence memo for the GA's heuristic seeding: the same
 	// four heuristic placements are otherwise recomputed by every GA
 	// variant cell of a batch at the same DBC count. Guarded because the
-	// engine evaluates cells concurrently.
-	mu    sync.Mutex
-	seeds map[seedKey][]*Placement
+	// engine evaluates cells concurrently. Held by pointer so Rebind
+	// copies share one memo: seed placements contain variable indices
+	// only, so they are valid for every content-equal sequence.
+	seeds *seedMemo
 }
 
 type seedKey struct{ q, capacity int }
+
+// seedMemo is the mutex-guarded heuristic-seed table shared by a kernel
+// and all its rebound copies.
+type seedMemo struct {
+	mu sync.Mutex
+	m  map[seedKey][]*Placement
+}
 
 // cachedSeeds returns the memoized heuristic seeds for (q, capacity),
 // computing and retaining them on first use. The cached placements are
 // shared read-only (the GA clones every seed before touching it).
 func (k *CostKernel) cachedSeeds(q, capacity int, compute func() ([]*Placement, error)) ([]*Placement, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.seeds.mu.Lock()
+	defer k.seeds.mu.Unlock()
 	key := seedKey{q: q, capacity: capacity}
-	if s, ok := k.seeds[key]; ok {
+	if s, ok := k.seeds.m[key]; ok {
 		return s, nil
 	}
 	s, err := compute()
 	if err != nil {
 		return nil, err
 	}
-	if k.seeds == nil {
-		k.seeds = make(map[seedKey][]*Placement)
+	if k.seeds.m == nil {
+		k.seeds.m = make(map[seedKey][]*Placement)
 	}
-	k.seeds[key] = s
+	k.seeds.m[key] = s
 	return s, nil
 }
 
@@ -123,6 +136,8 @@ func buildCostKernel(s *trace.Sequence, candBudget int) *CostKernel {
 		numVars:  n,
 		accesses: len(s.Accesses),
 		start:    make([]int, 1),
+		accCnt:   make([]int64, n),
+		seeds:    &seedMemo{},
 	}
 	if n == 0 || len(s.Accesses) == 0 {
 		k.layoutVarMajor()
@@ -151,6 +166,7 @@ func buildCostKernel(s *trace.Sequence, candBudget int) *CostKernel {
 
 	for _, a := range s.Accesses {
 		v := int32(a.Var)
+		k.accCnt[v]++
 		// Candidates: recency-list prefix strictly newer than v's own
 		// previous access. For a first access the walk covers the whole
 		// list (every distinct variable so far is a candidate). The walk
@@ -394,6 +410,68 @@ func (k *CostKernel) Evaluate(p *Placement) (int64, error) {
 		return 0, err
 	}
 	return k.Cost(l), nil
+}
+
+// Breakdown attributes the placement's cost and access counts per DBC —
+// the kernel equivalent of ShiftCostBreakdown, bit-identical per DBC
+// (each stencil group contributes to the charged variable's DBC, exactly
+// the DBC the replay attributes the transition to). Unlike Cost it
+// validates coverage: an accessed-but-unplaced variable is an error, as
+// on the replay path.
+func (k *CostKernel) Breakdown(p *Placement) (*CostBreakdown, error) {
+	l, err := p.BuildLookup(k.numVars)
+	if err != nil {
+		return nil, err
+	}
+	q := len(p.DBC)
+	b := &CostBreakdown{PerDBC: make([]int64, q), Accesses: make([]int64, q)}
+	for v := 0; v < k.numVars; v++ {
+		if k.accCnt[v] == 0 {
+			continue
+		}
+		d := l.DBCOf[v]
+		if d < 0 || d >= q {
+			return nil, fmt.Errorf("placement: accesses to unplaced variable %s", k.seq.Name(v))
+		}
+		b.Accesses[d] += k.accCnt[v]
+		c := k.varCost(l.DBCOf, l.Offset, v, d)
+		b.PerDBC[d] += c
+		b.Total += c
+	}
+	return b, nil
+}
+
+// Rebind returns a kernel bound to s, sharing this kernel's immutable
+// stencil tables: content-addressed caches hand out one kernel for every
+// content-equal sequence, but the strategy plumbing validates kernels by
+// sequence pointer (Options.Kernel, GAConfig.Kernel), so a cache hit
+// under a different pointer must be re-pointed before it is usable.
+// Returns k itself when s is already the bound sequence, and nil when s
+// is not content-equal (the caller must build a fresh kernel). The
+// rebound kernel shares the tables read-only and the heuristic-seed
+// memo (seed placements hold variable indices only, valid for any
+// content-equal sequence), so GA seeding stays memoized across rebinds.
+func (k *CostKernel) Rebind(s *trace.Sequence) *CostKernel {
+	if k.seq == s {
+		return k
+	}
+	if !k.seq.ContentEqual(s) {
+		return nil
+	}
+	return &CostKernel{
+		seq:      s,
+		numVars:  k.numVars,
+		accesses: k.accesses,
+		tvar:     k.tvar,
+		wgt:      k.wgt,
+		start:    k.start,
+		cand:     k.cand,
+		varOrder: k.varOrder,
+		rowLo:    k.rowLo,
+		rowHi:    k.rowHi,
+		accCnt:   k.accCnt,
+		seeds:    k.seeds,
+	}
 }
 
 // kernelFor returns a kernel for s: the supplied one when it was built

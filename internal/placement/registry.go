@@ -43,20 +43,38 @@ func NewStrategy(name string, fn func(s *trace.Sequence, q int, opts Options) (*
 	return strategyFunc{name: name, fn: fn}
 }
 
-// registry is the process-wide strategy table. Reads (Lookup, per-job
-// dispatch in the experiment engine) vastly outnumber writes
-// (registration, typically at init), hence the RWMutex.
-var registry = struct {
-	sync.RWMutex
+// A Registry is an instance-scoped strategy table. Every Registry starts
+// seeded with the built-in strategies (the six paper strategies plus the
+// DMA-2opt and GA-2opt extensions) and grows by Register; two registries
+// can hold different strategies under the same name without interfering,
+// which is what lets multiple embedding sessions (racetrack.Lab) coexist
+// in one process. Reads (Lookup, per-job dispatch in the experiment
+// engine) vastly outnumber writes (registration, typically at session
+// construction), hence the RWMutex.
+type Registry struct {
+	mu    sync.RWMutex
 	byID  map[StrategyID]Strategy
 	order []StrategyID // registration order, builtins first
-}{byID: map[StrategyID]Strategy{}}
+}
+
+// NewRegistry returns a fresh registry seeded with the built-in
+// strategies.
+func NewRegistry() *Registry {
+	r := &Registry{byID: map[StrategyID]Strategy{}}
+	for _, st := range builtinStrategies() {
+		if err := r.Register(st); err != nil {
+			// Builtins have fixed, distinct, non-empty names.
+			panic(err)
+		}
+	}
+	return r
+}
 
 // Register adds a strategy to the registry. It fails on an empty name and
-// on duplicate registration; strategies are process-wide and cannot be
-// replaced (re-registering would silently change every driver that
-// resolves the name).
-func Register(st Strategy) error {
+// on duplicate registration; names cannot be replaced within one registry
+// (re-registering would silently change every driver that resolves the
+// name there). Use a second Registry to shadow a name.
+func (r *Registry) Register(st Strategy) error {
 	if st == nil {
 		return fmt.Errorf("placement: Register called with nil strategy")
 	}
@@ -64,46 +82,48 @@ func Register(st Strategy) error {
 	if id == "" {
 		return fmt.Errorf("placement: Register called with empty strategy name")
 	}
-	registry.Lock()
-	defer registry.Unlock()
-	if _, dup := registry.byID[id]; dup {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byID[id]; dup {
 		return fmt.Errorf("placement: strategy %q already registered", id)
 	}
-	registry.byID[id] = st
-	registry.order = append(registry.order, id)
+	r.byID[id] = st
+	r.order = append(r.order, id)
 	return nil
 }
 
-// MustRegister is Register, panicking on error. Intended for package init
-// blocks, where a clash is a programming error.
-func MustRegister(st Strategy) {
-	if err := Register(st); err != nil {
-		panic(err)
-	}
-}
-
-// LookupStrategy resolves a strategy by name.
-func LookupStrategy(id StrategyID) (Strategy, bool) {
-	registry.RLock()
-	defer registry.RUnlock()
-	st, ok := registry.byID[id]
+// Lookup resolves a strategy by name.
+func (r *Registry) Lookup(id StrategyID) (Strategy, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st, ok := r.byID[id]
 	return st, ok
 }
 
-// Registered lists every registered strategy name: the six paper
+// Place runs the named strategy of this registry on the sequence with q
+// DBCs and returns the resulting placement and its shift cost.
+func (r *Registry) Place(id StrategyID, s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
+	st, ok := r.Lookup(id)
+	if !ok {
+		return nil, 0, fmt.Errorf("placement: unknown strategy %q", id)
+	}
+	return st.Place(s, q, opts)
+}
+
+// Registered lists every strategy name of this registry: the six paper
 // strategies first (in the paper's presentation order), then plugged-in
 // strategies sorted by name (registration order of plugins is otherwise
 // load-order dependent and would make experiment output unstable).
-func Registered() []StrategyID {
-	registry.RLock()
-	defer registry.RUnlock()
+func (r *Registry) Registered() []StrategyID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	builtin := AllStrategies()
 	isBuiltin := map[StrategyID]bool{}
 	for _, id := range builtin {
 		isBuiltin[id] = true
 	}
 	var plugins []StrategyID
-	for _, id := range registry.order {
+	for _, id := range r.order {
 		if !isBuiltin[id] {
 			plugins = append(plugins, id)
 		}
@@ -111,6 +131,25 @@ func Registered() []StrategyID {
 	sort.Slice(plugins, func(i, j int) bool { return plugins[i] < plugins[j] })
 	return append(builtin, plugins...)
 }
+
+// defaultRegistry is the process-wide registry behind the package-level
+// functions — the table the legacy flat API and the internal drivers
+// resolve against when no instance registry is supplied.
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry exposes the process-wide registry (the one the
+// package-level Register/LookupStrategy/Registered operate on), so the
+// public API's default session can share it.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// Register adds a strategy to the process-wide registry.
+func Register(st Strategy) error { return defaultRegistry.Register(st) }
+
+// LookupStrategy resolves a strategy by name in the process-wide registry.
+func LookupStrategy(id StrategyID) (Strategy, bool) { return defaultRegistry.Lookup(id) }
+
+// Registered lists every strategy name of the process-wide registry.
+func Registered() []StrategyID { return defaultRegistry.Registered() }
 
 // The six paper strategies, behind the Strategy interface.
 
@@ -193,8 +232,14 @@ func (g ga) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, er
 
 // StrategyGAMemetic is the memetic GA extension strategy ("GA-2opt"). Like
 // DMA-2opt it is not one of the paper's six evaluated strategies; it is
-// registered as a plugin so every by-name driver can reach it.
+// seeded into every registry alongside them so every by-name driver can
+// reach it.
 const StrategyGAMemetic StrategyID = "GA-2opt"
+
+// StrategyDMATwoOpt is the two-opt-refined DMA extension strategy
+// ("DMA-2opt"): DMA inter-DBC placement, ShiftsReduce + delta-evaluated
+// 2-opt local search on the non-disjoint DBCs. Never worse than DMA-SR.
+const StrategyDMATwoOpt StrategyID = "DMA-2opt"
 
 // rw is the random-walk search baseline.
 type rw struct{}
@@ -213,12 +258,21 @@ func (rw) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, erro
 	return RandomWalk(s, q, cfg)
 }
 
-func init() {
-	MustRegister(afdOFU{})
-	MustRegister(dma{id: StrategyDMAOFU, intra: OFU})
-	MustRegister(dma{id: StrategyDMAChen, intra: Chen})
-	MustRegister(dma{id: StrategyDMASR, intra: ShiftsReduce})
-	MustRegister(ga{id: StrategyGA})
-	MustRegister(rw{})
-	MustRegister(ga{id: StrategyGAMemetic, memetic: true})
+// builtinStrategies lists the strategies every fresh registry is seeded
+// with: the six paper strategies in presentation order, then the two
+// extension strategies. Registering them per instance (instead of a
+// process-global init) is what makes instance registries self-contained
+// — and removes the init-time panic the extension registration used to
+// ride on.
+func builtinStrategies() []Strategy {
+	return []Strategy{
+		afdOFU{},
+		dma{id: StrategyDMAOFU, intra: OFU},
+		dma{id: StrategyDMAChen, intra: Chen},
+		dma{id: StrategyDMASR, intra: ShiftsReduce},
+		ga{id: StrategyGA},
+		rw{},
+		ga{id: StrategyGAMemetic, memetic: true},
+		NewStrategy(string(StrategyDMATwoOpt), PlaceDMATwoOpt),
+	}
 }

@@ -119,46 +119,8 @@ func RunSequence(cfg Config, s *trace.Sequence, p *placement.Placement) (Result,
 	}, nil
 }
 
-// Placer computes a placement for one sequence given the device's DBC
-// count. It adapts placement strategies to the simulator driver.
-type Placer func(s *trace.Sequence, q int) (*placement.Placement, error)
-
-// StrategyPlacer wraps a named placement strategy as a Placer.
-func StrategyPlacer(id placement.StrategyID, opts placement.Options) Placer {
-	return func(s *trace.Sequence, q int) (*placement.Placement, error) {
-		p, _, err := placement.Place(id, s, q, opts)
-		return p, err
-	}
-}
-
-// RunCell places one sequence with the named registry strategy and
-// replays it on the device: the unit of work of one experiment cell
-// (sequence × strategy × DBC count). The engine package fans cells out
-// over a worker pool; see DESIGN.md §4.
-func RunCell(cfg Config, s *trace.Sequence, id placement.StrategyID, opts placement.Options) (Result, error) {
-	p, _, err := placement.Place(id, s, cfg.Geometry.DBCs(), opts)
-	if err != nil {
-		return Result{}, err
-	}
-	return RunSequence(cfg, s, p)
-}
-
-// RunBenchmark places and replays every sequence of a benchmark,
-// accumulating the totals. Each sequence is an independent placement
-// problem, as in the offset-assignment literature the paper builds on.
-func RunBenchmark(cfg Config, b *trace.Benchmark, place Placer) (Result, error) {
-	var total Result
-	q := cfg.Geometry.DBCs()
-	for i, s := range b.Sequences {
-		p, err := place(s, q)
-		if err != nil {
-			return Result{}, fmt.Errorf("sim: %s seq %d: %w", b.Name, i, err)
-		}
-		r, err := RunSequence(cfg, s, p)
-		if err != nil {
-			return Result{}, fmt.Errorf("sim: %s seq %d: %w", b.Name, i, err)
-		}
-		total.Add(r)
-	}
-	return total, nil
-}
+// Benchmark-level simulation (place every sequence with a strategy,
+// replay, accumulate) lives in the engine batch layer
+// (engine.BatchSimulateWith) and the public session API
+// (racetrack.Lab.SimulateBenchmark); this package only simulates one
+// already-placed sequence at a time.

@@ -98,23 +98,30 @@ func TestCapacityEnforcement(t *testing.T) {
 	}
 }
 
-func TestRunBenchmark(t *testing.T) {
+func TestRunSequencesAccumulate(t *testing.T) {
 	cfg := cfg4(t)
-	b := &trace.Benchmark{Name: "t", Sequences: []*trace.Sequence{
+	var total Result
+	for _, s := range []*trace.Sequence{
 		trace.NewSequence(0, 1, 0, 1),
 		trace.NewSequence(0, 0, 1, 2),
-	}}
-	r, err := RunBenchmark(cfg, b, StrategyPlacer(placement.StrategyDMAOFU, placement.Options{}))
-	if err != nil {
-		t.Fatal(err)
+	} {
+		p, _, err := placement.Place(placement.StrategyDMAOFU, s, cfg.Geometry.DBCs(), placement.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunSequence(cfg, s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Add(r)
 	}
-	if r.Sequences != 2 {
-		t.Errorf("sequences = %d, want 2", r.Sequences)
+	if total.Sequences != 2 {
+		t.Errorf("sequences = %d, want 2", total.Sequences)
 	}
-	if r.Counts.Accesses() != 8 {
-		t.Errorf("accesses = %d, want 8", r.Counts.Accesses())
+	if total.Counts.Accesses() != 8 {
+		t.Errorf("accesses = %d, want 8", total.Counts.Accesses())
 	}
-	if r.LatencyNS <= 0 || r.Energy.TotalPJ() <= 0 {
+	if total.LatencyNS <= 0 || total.Energy.TotalPJ() <= 0 {
 		t.Error("no latency/energy accumulated")
 	}
 }

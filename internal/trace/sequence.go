@@ -187,6 +187,71 @@ func (s *Sequence) Clone() *Sequence {
 	return c
 }
 
+// Fingerprint returns a 64-bit FNV-1a hash over the sequence's content:
+// the variable universe, the names (when present) and the ordered access
+// stream including read/write kinds. Content-equal sequences hash alike
+// regardless of pointer identity, which is what content-addressed caches
+// (the public API's kernel cache) key on. Collisions must be resolved by
+// ContentEqual.
+func (s *Sequence) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(s.NumVars()))
+	mix(uint64(len(s.Names)))
+	for _, n := range s.Names {
+		for i := 0; i < len(n); i++ {
+			h ^= uint64(n[i])
+			h *= prime64
+		}
+		h ^= 0xff // name separator
+		h *= prime64
+	}
+	for _, a := range s.Accesses {
+		v := uint64(a.Var) << 1
+		if a.Write {
+			v |= 1
+		}
+		mix(v)
+	}
+	return h
+}
+
+// ContentEqual reports whether two sequences describe the identical
+// trace: same variable universe, same names (or both unnamed) and the
+// same ordered accesses.
+func (s *Sequence) ContentEqual(o *Sequence) bool {
+	if s == o {
+		return true
+	}
+	if s == nil || o == nil {
+		return false
+	}
+	if s.NumVars() != o.NumVars() || len(s.Names) != len(o.Names) || len(s.Accesses) != len(o.Accesses) {
+		return false
+	}
+	for i, n := range s.Names {
+		if o.Names[i] != n {
+			return false
+		}
+	}
+	for i, a := range s.Accesses {
+		if o.Accesses[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
 // Writes counts write accesses.
 func (s *Sequence) Writes() int {
 	n := 0

@@ -1,0 +1,97 @@
+package racetrack
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/placement"
+	"repro/internal/trace"
+)
+
+// kernelCache is the Lab's bounded, content-addressed cost-kernel store:
+// kernels are keyed by the sequence's content fingerprint, so any
+// content-equal sequence — regardless of pointer identity — reuses the
+// summarization work. Entries are verified with ContentEqual on every
+// hit (a fingerprint collision therefore costs a rebuild, never a wrong
+// cost) and evicted least-recently-used beyond the capacity.
+type kernelCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64]*list.Element
+	lru     *list.List // of *kernelEntry, most recent first
+
+	// hits/misses instrument the cache for tests and benchmarks.
+	hits, misses int64
+}
+
+type kernelEntry struct {
+	fp   uint64
+	kern *placement.CostKernel
+}
+
+// newKernelCache returns a cache bounded to capacity kernels; capacity
+// <= 0 yields nil (cache disabled).
+func newKernelCache(capacity int) *kernelCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &kernelCache{cap: capacity, entries: make(map[uint64]*list.Element), lru: list.New()}
+}
+
+// kernel returns a cost kernel bound to exactly s, from the cache when a
+// content-equal sequence was summarized before, building (and caching)
+// it otherwise. The returned kernel satisfies the engine.Hooks.Kernel
+// contract: cache hits under a different sequence pointer are rebound
+// before they are handed out. Safe for concurrent use; concurrent misses
+// on the same content may build twice, with the later build winning the
+// cache slot (both results are valid).
+func (c *kernelCache) kernel(s *trace.Sequence) *placement.CostKernel {
+	fp := s.Fingerprint()
+	c.mu.Lock()
+	var cand *placement.CostKernel
+	if el, ok := c.entries[fp]; ok {
+		cand = el.Value.(*kernelEntry).kern
+	}
+	c.mu.Unlock()
+
+	if cand != nil {
+		// Verify content (and rebind) outside the lock: the O(accesses)
+		// comparison must not serialize concurrent workers on the hit
+		// path. Kernels are immutable, so the candidate cannot change
+		// under us; at worst the entry was evicted meanwhile, which only
+		// skips the LRU bump.
+		if k := cand.Rebind(s); k != nil {
+			c.mu.Lock()
+			if el, ok := c.entries[fp]; ok {
+				c.lru.MoveToFront(el)
+			}
+			c.hits++
+			c.mu.Unlock()
+			return k
+		}
+		// Fingerprint collision: different content behind the same key.
+		// Treat as a miss; the build below replaces the entry.
+	}
+
+	k := placement.NewCostKernel(s) // build outside the lock
+	c.mu.Lock()
+	c.misses++
+	if el, ok := c.entries[fp]; ok {
+		c.lru.Remove(el)
+	}
+	c.entries[fp] = c.lru.PushFront(&kernelEntry{fp: fp, kern: k})
+	for c.lru.Len() > c.cap {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.entries, old.Value.(*kernelEntry).fp)
+	}
+	c.mu.Unlock()
+	return k
+}
+
+// stats reports the hit/miss counters.
+func (c *kernelCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,347 @@
+package racetrack
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/placement"
+	"repro/internal/sim"
+)
+
+// A Lab is a self-contained placement-experiment session: an instance-
+// scoped strategy registry (seeded with the paper's six strategies plus
+// the DMA-2opt/GA-2opt extensions), a default device and worker-pool
+// size, a bounded content-addressed cost-kernel cache, and an optional
+// progress callback. Multiple Labs coexist in one process without
+// sharing registrations — two tenants can plug different strategies in
+// under the same name — and every method takes a context, which cancels
+// the remaining experiment cells promptly.
+//
+// The zero value is not usable; construct Labs with New. The legacy
+// package-level functions (PlaceTrace, PlaceBenchmark, ...) are thin
+// wrappers over a lazily initialized default Lab that shares the
+// process-wide registry RegisterStrategy writes to.
+type Lab struct {
+	registry *placement.Registry
+	workers  int
+	dbcs     int
+	device   DeviceConfig
+	cache    *kernelCache
+
+	progress func(ProgressEvent)
+	progMu   sync.Mutex
+}
+
+// A ProgressEvent reports one experiment cell (one sequence placed with
+// one strategy at one DBC count) as it starts (Done == false) and
+// finishes (Done == true, with the shift cost or the error). Cells is
+// the batch size; single-sequence calls report one cell.
+type ProgressEvent struct {
+	// Cell indexes the cell within its batch of Cells.
+	Cell, Cells int
+	// Sequence is the access sequence being placed.
+	Sequence *Sequence
+	// Strategy and DBCs identify the work item.
+	Strategy Strategy
+	DBCs     int
+	// Done distinguishes started (false) from finished (true) events.
+	Done bool
+	// Shifts is the cell's shift cost, valid when Done && Err == nil.
+	Shifts int64
+	// Err is the cell's failure, if any, when Done.
+	Err error
+}
+
+// New constructs a Lab from the functional options. Option errors — an
+// invalid device or worker count, duplicate WithStrategy names — are
+// joined into the returned error; a Lab is only returned when every
+// option applied cleanly.
+func New(opts ...Option) (*Lab, error) {
+	cfg := &labConfig{
+		workers:   runtime.NumCPU(),
+		dbcs:      4,
+		kernelCap: DefaultKernelCacheSize,
+	}
+	for _, opt := range opts {
+		opt(cfg)
+	}
+	l := &Lab{
+		registry: placement.NewRegistry(),
+		workers:  cfg.workers,
+		dbcs:     cfg.dbcs,
+		device:   cfg.device,
+		cache:    newKernelCache(cfg.kernelCap),
+		progress: cfg.progress,
+	}
+	if !cfg.deviceSet {
+		dev, err := sim.TableIConfig(cfg.dbcs)
+		if err != nil {
+			cfg.errs = append(cfg.errs, err)
+		} else {
+			l.device = dev
+		}
+	}
+	cfg.errs = append(cfg.errs, cfg.register(l.registry)...)
+	if err := errors.Join(cfg.errs...); err != nil {
+		return nil, fmt.Errorf("racetrack: New: %w", err)
+	}
+	return l, nil
+}
+
+// DefaultKernelCacheSize is the kernel-cache capacity of a Lab built
+// without WithKernelCache.
+const DefaultKernelCacheSize = 64
+
+// RegisterStrategy plugs a custom placement strategy into this Lab's
+// registry under the given name. Once registered, the strategy is
+// resolvable by name in every method of this Lab — Place,
+// PlaceBenchmark, SimulateBenchmark and the experiment drivers behind
+// Run — but in no other Lab. fn must be safe for concurrent use (the
+// experiment engine calls it from multiple workers) and deterministic
+// for a fixed input if reproducible experiments are desired.
+// Registration fails on an empty or already-taken name.
+func (l *Lab) RegisterStrategy(name string, fn func(s *Sequence, q int, opts StrategyOptions) (*Placement, int64, error)) error {
+	return l.registry.Register(placement.NewStrategy(name, fn))
+}
+
+// RegisteredStrategies lists every strategy resolvable in this Lab: the
+// six paper strategies first, then plugged-in strategies (including the
+// built-in DMA-2opt and GA-2opt extensions) sorted by name.
+func (l *Lab) RegisteredStrategies() []Strategy { return l.registry.Registered() }
+
+// Device returns the Lab's default simulated device (see WithDevice).
+func (l *Lab) Device() DeviceConfig { return l.device }
+
+// emit serializes progress delivery; the callback never needs its own
+// locking even though cells finish on concurrent workers.
+func (l *Lab) emit(ev ProgressEvent) {
+	if l.progress == nil {
+		return
+	}
+	l.progMu.Lock()
+	l.progress(ev)
+	l.progMu.Unlock()
+}
+
+// hooks wires this Lab's registry, kernel cache and progress callback
+// into the experiment engine's batch layer.
+func (l *Lab) hooks() engine.Hooks {
+	h := engine.Hooks{Resolve: l.registry.Lookup}
+	if l.cache != nil {
+		h.Kernel = l.cache.kernel
+	}
+	if l.progress != nil {
+		h.Progress = func(ev engine.Event) {
+			l.emit(ProgressEvent{
+				Cell: ev.Index, Cells: ev.Total,
+				Sequence: ev.Sequence, Strategy: ev.Strategy, DBCs: ev.DBCs,
+				Done: ev.Done, Shifts: ev.Shifts, Err: ev.Err,
+			})
+		}
+	}
+	return h
+}
+
+// withDefaults fills the Lab-level defaults into per-call options: the
+// paper's DMA-OFU strategy, the Lab's device DBC count and the Lab's
+// worker-pool size.
+func (l *Lab) withDefaults(opts PlaceOptions) PlaceOptions {
+	if opts.Strategy == "" {
+		opts.Strategy = DMAOFU
+	}
+	if opts.DBCs == 0 {
+		opts.DBCs = l.dbcs
+	}
+	if opts.Workers == 0 {
+		opts.Workers = l.workers
+	}
+	return opts
+}
+
+// placeOne runs one strategy on one sequence and attributes the cost per
+// DBC, asserting that the strategy's reported cost agrees with the cost
+// model (a mismatch means a buggy — typically custom — strategy). With
+// the kernel cache enabled both the strategy's cost evaluation and the
+// attribution run through the cached kernel; costs are bit-identical to
+// the replay path either way.
+func (l *Lab) placeOne(s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
+	stOpts := opts.options()
+	var kern *CostKernel
+	if l.cache != nil {
+		kern = l.cache.kernel(s)
+		stOpts.Kernel = kern
+	}
+	p, c, err := l.registry.Place(opts.Strategy, s, opts.DBCs, stOpts)
+	if err != nil {
+		return nil, err
+	}
+	var b *placement.CostBreakdown
+	if kern != nil {
+		b, err = kern.Breakdown(p)
+	} else {
+		b, err = placement.ShiftCostBreakdown(s, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if b.Total != c {
+		return nil, fmt.Errorf("racetrack: strategy %s reported %d shifts but the cost model attributes %d", opts.Strategy, c, b.Total)
+	}
+	return &PlaceResult{Placement: p, Shifts: b.Total, PerDBC: b.PerDBC}, nil
+}
+
+// Place computes a placement for one access sequence with this Lab's
+// registry, defaults and kernel cache. The context aborts the call
+// before (and custom strategies may honor it during) the placement.
+func (l *Lab) Place(ctx context.Context, s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts = l.withDefaults(opts)
+	l.emit(ProgressEvent{Cells: 1, Sequence: s, Strategy: opts.Strategy, DBCs: opts.DBCs})
+	res, err := l.placeOne(s, opts)
+	done := ProgressEvent{Cells: 1, Sequence: s, Strategy: opts.Strategy, DBCs: opts.DBCs, Done: true, Err: err}
+	if err == nil {
+		done.Shifts = res.Shifts
+	}
+	l.emit(done)
+	return res, err
+}
+
+// PlaceBenchmark places every sequence of the benchmark with the
+// selected strategy, fanning the sequences out on the experiment engine
+// (opts.Workers, defaulting to the Lab's pool size). The results are
+// identical for any worker count; cancelling the context aborts the
+// remaining sequences promptly and returns the context's error.
+func (l *Lab) PlaceBenchmark(ctx context.Context, b *Benchmark, opts PlaceOptions) (*BenchmarkPlaceResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts = l.withDefaults(opts)
+	jobs := make([]engine.PlaceJob, len(b.Sequences))
+	for i, s := range b.Sequences {
+		jobs[i] = engine.PlaceJob{Sequence: s, Strategy: opts.Strategy, DBCs: opts.DBCs, Options: opts.options()}
+	}
+	out, err := engine.BatchPlaceWith(ctx, jobs, opts.Workers, l.hooks())
+	if err != nil {
+		return nil, fmt.Errorf("racetrack: place benchmark %s: %w", b.Name, err)
+	}
+	// Attribute each placement's cost per DBC on the same worker budget
+	// (kernel-cache hits make this O(nnz) per sequence; without the
+	// cache it is the replay pass the pre-session API also paid).
+	results, err := engine.Map(ctx, len(out), opts.Workers, func(_ context.Context, i int) (*PlaceResult, error) {
+		o := out[i]
+		bd, err := l.breakdown(b.Sequences[i], o.Placement)
+		if err != nil {
+			return nil, fmt.Errorf("sequence %d: %w", i, err)
+		}
+		if bd.Total != o.Shifts {
+			return nil, fmt.Errorf("sequence %d: strategy %s reported %d shifts but the cost model attributes %d",
+				i, opts.Strategy, o.Shifts, bd.Total)
+		}
+		return &PlaceResult{Placement: o.Placement, Shifts: o.Shifts, PerDBC: bd.PerDBC}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("racetrack: place benchmark %s: %w", b.Name, err)
+	}
+	res := &BenchmarkPlaceResult{Benchmark: b, Results: results}
+	for _, r := range results {
+		res.TotalShifts += r.Shifts
+	}
+	return res, nil
+}
+
+// breakdown attributes a placement's cost per DBC, through the kernel
+// cache when enabled.
+func (l *Lab) breakdown(s *Sequence, p *Placement) (*placement.CostBreakdown, error) {
+	if l.cache != nil {
+		return l.cache.kernel(s).Breakdown(p)
+	}
+	return placement.ShiftCostBreakdown(s, p)
+}
+
+// Simulate replays the sequence with the placement on the Lab's device
+// and returns shift/read/write counts, latency and the energy breakdown.
+func (l *Lab) Simulate(ctx context.Context, s *Sequence, p *Placement) (SimResult, error) {
+	return l.SimulateOn(ctx, l.device, s, p)
+}
+
+// SimulateOn is Simulate on an explicit device configuration.
+func (l *Lab) SimulateOn(ctx context.Context, dev DeviceConfig, s *Sequence, p *Placement) (SimResult, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return SimResult{}, err
+		}
+	}
+	return sim.RunSequence(dev, s, p)
+}
+
+// SimulateBenchmark places (with opts.Strategy, defaulting to DMA-OFU as
+// in PlaceTrace) and replays every sequence of the benchmark on the
+// Lab's device, accumulating totals. The cells fan out on the experiment
+// engine with opts.Workers workers; totals are bit-identical for any
+// worker count.
+func (l *Lab) SimulateBenchmark(ctx context.Context, b *Benchmark, opts PlaceOptions) (SimResult, error) {
+	return l.SimulateBenchmarkOn(ctx, l.device, b, opts)
+}
+
+// SimulateBenchmarkOn is SimulateBenchmark on an explicit device
+// configuration (the device's DBC count drives the placements).
+func (l *Lab) SimulateBenchmarkOn(ctx context.Context, dev DeviceConfig, b *Benchmark, opts PlaceOptions) (SimResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts = l.withDefaults(opts)
+	jobs := make([]engine.SimJob, len(b.Sequences))
+	for i, s := range b.Sequences {
+		jobs[i] = engine.SimJob{Config: dev, Sequence: s, Strategy: opts.Strategy, Options: opts.options()}
+	}
+	out, err := engine.BatchSimulateWith(ctx, jobs, opts.Workers, l.hooks())
+	if err != nil {
+		return SimResult{}, fmt.Errorf("racetrack: simulate benchmark %s: %w", b.Name, err)
+	}
+	var agg SimResult
+	for _, r := range out {
+		agg.Add(r)
+	}
+	return agg, nil
+}
+
+// defaultLab is the session behind the legacy package-level API. It
+// shares the process-wide strategy registry (so RegisterStrategy remains
+// process-visible, as it always was), keeps the legacy sequential
+// default (PlaceOptions.Workers == 0 means one worker, exactly as
+// before) and prices repeated traces through a kernel cache. The cache
+// retains up to DefaultKernelCacheSize recently placed traces and their
+// kernels for the process lifetime — bounded, but a memory footprint
+// the stateless pre-session API did not have; long-running embedders
+// that stream huge one-shot traces should build their own Lab with
+// WithKernelCache(0) (or a small capacity) instead of the flat API.
+var (
+	defaultLabOnce sync.Once
+	defaultLabInst *Lab
+)
+
+func defaultLab() *Lab {
+	defaultLabOnce.Do(func() {
+		dev, err := sim.TableIConfig(4)
+		if err != nil {
+			panic(err) // Table I always has a 4-DBC row
+		}
+		defaultLabInst = &Lab{
+			registry: placement.DefaultRegistry(),
+			workers:  1,
+			dbcs:     4,
+			device:   dev,
+			cache:    newKernelCache(DefaultKernelCacheSize),
+		}
+	})
+	return defaultLabInst
+}

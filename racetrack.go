@@ -14,13 +14,32 @@
 //
 // # Quick start
 //
+// The session object is a Lab: an instance-scoped strategy registry, a
+// default device, a worker pool, a content-addressed cost-kernel cache
+// and context-first methods.
+//
+//	lab, err := racetrack.New(
+//		racetrack.WithDevice(4),
+//		racetrack.WithWorkers(8),
+//	)
+//	...
 //	seq, err := racetrack.ParseSequence("a b a b c a c a d d a")
 //	...
-//	res, err := racetrack.PlaceTrace(seq, racetrack.PlaceOptions{
+//	res, err := lab.Place(ctx, seq, racetrack.PlaceOptions{
 //		Strategy: racetrack.DMAOFU,
-//		DBCs:     4,
 //	})
 //	fmt.Println(res.Shifts, res.Placement)
+//
+// Labs also run the paper's experiment pipeline (Lab.Run with a typed
+// ExperimentSpec), simulate placements on Table I devices (Lab.Simulate,
+// Lab.SimulateBenchmark) and accept custom strategies scoped to the
+// instance (WithStrategy, Lab.RegisterStrategy) — two Labs can register
+// different strategies under the same name and run concurrently.
+//
+// The flat package-level functions (PlaceTrace, PlaceBenchmark,
+// Simulate, ...) remain as thin wrappers over a lazily initialized
+// default Lab whose registry is process-wide, exactly as before the
+// session API existed.
 //
 // The subpackages under internal/ hold the implementation: trace analysis
 // (internal/trace), the RTM device model (internal/rtm), the Table I
@@ -33,11 +52,11 @@ package racetrack
 import (
 	"context"
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/energy"
-	"repro/internal/engine"
 	"repro/internal/frontend"
 	"repro/internal/offsetstone"
 	"repro/internal/placement"
@@ -70,39 +89,55 @@ const (
 // Strategies lists the six paper strategies in the paper's order.
 func Strategies() []Strategy { return placement.AllStrategies() }
 
-// RegisteredStrategies lists every strategy resolvable by name: the six
-// paper strategies first, then plugged-in strategies (including the
-// built-in "DMA-2opt" extension registered below).
-func RegisteredStrategies() []Strategy { return placement.Registered() }
+// RegisteredStrategies lists every strategy resolvable by name in the
+// default Lab: the six paper strategies first, then plugged-in
+// strategies (including the built-in "DMA-2opt" and "GA-2opt"
+// extensions).
+func RegisteredStrategies() []Strategy { return defaultLab().RegisteredStrategies() }
 
 // StrategyOptions carries the per-strategy tuning knobs (capacity, GA/RW
 // parameters) passed to every strategy, including custom ones.
 type StrategyOptions = placement.Options
 
-// RegisterStrategy plugs a custom placement strategy into the process-wide
-// registry under the given name. Once registered, the strategy is
-// resolvable everywhere a Strategy name is accepted: PlaceTrace,
-// PlaceBenchmark, SimulateBenchmark, the experiment drivers and the CLI
-// tools. fn must be safe for concurrent use (the experiment engine calls
-// it from multiple workers) and deterministic for a fixed input if
-// reproducible experiments are desired. Registration fails on an empty or
-// already-taken name.
+// GAConfig tunes the paper's genetic algorithm (µ, λ, generations,
+// tournament size, mutation operators, seed).
+type GAConfig = placement.GAConfig
+
+// DefaultGAConfig returns the paper's published GA parameters (µ = λ =
+// 100, 200 generations, tournament 4).
+func DefaultGAConfig() GAConfig { return placement.DefaultGAConfig() }
+
+// RWConfig tunes the random-walk baseline (iterations, seed).
+type RWConfig = placement.RWConfig
+
+// DefaultRWConfig returns the paper's random-walk budget (60 000
+// iterations).
+func DefaultRWConfig() RWConfig { return placement.DefaultRWConfig() }
+
+// RegisterStrategy plugs a custom placement strategy into the
+// process-wide registry (the default Lab's registry) under the given
+// name. Once registered, the strategy is resolvable everywhere a
+// Strategy name is accepted: PlaceTrace, PlaceBenchmark,
+// SimulateBenchmark, the experiment drivers and the CLI tools — but not
+// in Labs built with New, which carry their own instance registries
+// (use WithStrategy or Lab.RegisterStrategy there). fn must be safe for
+// concurrent use (the experiment engine calls it from multiple workers)
+// and deterministic for a fixed input if reproducible experiments are
+// desired. Registration fails on an empty or already-taken name.
 func RegisterStrategy(name string, fn func(s *Sequence, q int, opts StrategyOptions) (*Placement, int64, error)) error {
-	return placement.Register(placement.NewStrategy(name, fn))
+	return defaultLab().RegisterStrategy(name, fn)
 }
 
 // DMA2Opt is the two-opt-refined DMA strategy (DMA inter-DBC placement,
 // ShiftsReduce + 2-opt local search on the non-disjoint DBCs). It is not
-// part of the paper's evaluation; it is registered through
-// RegisterStrategy — the same hook available to external code — and never
-// costs more shifts than DMASR.
-const DMA2Opt Strategy = "DMA-2opt"
+// part of the paper's evaluation; like GA2Opt it is seeded into every
+// Lab's registry alongside the paper strategies, so it is resolvable by
+// name everywhere. It never costs more shifts than DMASR.
+const DMA2Opt Strategy = placement.StrategyDMATwoOpt
 
-func init() {
-	if err := RegisterStrategy(string(DMA2Opt), placement.PlaceDMATwoOpt); err != nil {
-		panic(err)
-	}
-}
+// GA2Opt is the memetic GA extension strategy: the paper's GA with a
+// delta-evaluated 2-opt local-improvement mutation mixed into breeding.
+const GA2Opt Strategy = placement.StrategyGAMemetic
 
 // Sequence is an access sequence over named program variables.
 type Sequence = trace.Sequence
@@ -130,6 +165,19 @@ func ParseBenchmark(name, text string) (*Benchmark, error) {
 	return trace.ParseString(name, text)
 }
 
+// ReadBenchmark reads the multi-sequence text format from a stream (the
+// streaming form of ParseBenchmark; this is what the CLI tools consume).
+func ReadBenchmark(name string, r io.Reader) (*Benchmark, error) {
+	return trace.Parse(name, r)
+}
+
+// ReadAddressTrace reads a raw R/W address trace ("R 0x100" records, one
+// per line; see internal/trace) into a single access sequence at the
+// given word granularity in bytes.
+func ReadAddressTrace(r io.Reader, wordBytes int) (*Sequence, error) {
+	return trace.ParseAddressTrace(r, wordBytes)
+}
+
 // PlaceOptions configures PlaceTrace.
 type PlaceOptions struct {
 	// Strategy selects the algorithm; default DMAOFU.
@@ -140,10 +188,10 @@ type PlaceOptions struct {
 	Capacity int
 	// GA overrides the genetic-algorithm parameters (zero value: the
 	// paper's µ=λ=100, 200 generations, tournament 4).
-	GA placement.GAConfig
+	GA GAConfig
 	// RW overrides the random-walk parameters (zero value: the paper's
 	// 60 000 iterations).
-	RW placement.RWConfig
+	RW RWConfig
 	// Workers sizes the worker pool PlaceBenchmark fans sequences out on
 	// (0 or 1 = sequential). Results are deterministic regardless.
 	Workers int
@@ -164,33 +212,11 @@ type PlaceResult struct {
 	PerDBC []int64
 }
 
-// placeOne runs one strategy on one sequence and attributes the cost per
-// DBC, asserting that the strategy's reported cost agrees with the cost
-// model (a mismatch means a buggy — typically custom — strategy).
-func placeOne(s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
-	p, c, err := placement.Place(opts.Strategy, s, opts.DBCs, opts.options())
-	if err != nil {
-		return nil, err
-	}
-	b, err := placement.ShiftCostBreakdown(s, p)
-	if err != nil {
-		return nil, err
-	}
-	if b.Total != c {
-		return nil, fmt.Errorf("racetrack: strategy %s reported %d shifts but the cost model attributes %d", opts.Strategy, c, b.Total)
-	}
-	return &PlaceResult{Placement: p, Shifts: b.Total, PerDBC: b.PerDBC}, nil
-}
-
-// PlaceTrace computes a placement for one access sequence.
+// PlaceTrace computes a placement for one access sequence. It is a
+// compat wrapper over the default Lab's Place (repeated calls on the
+// same trace content therefore hit the Lab's kernel cache).
 func PlaceTrace(s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
-	if opts.Strategy == "" {
-		opts.Strategy = DMAOFU
-	}
-	if opts.DBCs == 0 {
-		opts.DBCs = 4
-	}
-	return placeOne(s, opts)
+	return defaultLab().Place(context.Background(), s, opts)
 }
 
 // BenchmarkPlaceResult is the outcome of placing every sequence of a
@@ -207,29 +233,9 @@ type BenchmarkPlaceResult struct {
 // PlaceBenchmark places every sequence of the benchmark with the selected
 // strategy, fanning the sequences out on the shared experiment engine
 // when opts.Workers > 1. The results are identical for any worker count.
+// It is a compat wrapper over the default Lab's PlaceBenchmark.
 func PlaceBenchmark(b *Benchmark, opts PlaceOptions) (*BenchmarkPlaceResult, error) {
-	if opts.Strategy == "" {
-		opts.Strategy = DMAOFU
-	}
-	if opts.DBCs == 0 {
-		opts.DBCs = 4
-	}
-	results, err := engine.Map(context.Background(), len(b.Sequences), opts.Workers,
-		func(_ context.Context, i int) (*PlaceResult, error) {
-			r, err := placeOne(b.Sequences[i], opts)
-			if err != nil {
-				return nil, fmt.Errorf("sequence %d: %w", i, err)
-			}
-			return r, nil
-		})
-	if err != nil {
-		return nil, fmt.Errorf("racetrack: place benchmark %s: %w", b.Name, err)
-	}
-	res := &BenchmarkPlaceResult{Benchmark: b, Results: results}
-	for _, r := range results {
-		res.TotalShifts += r.Shifts
-	}
-	return res, nil
+	return defaultLab().PlaceBenchmark(context.Background(), b, opts)
 }
 
 // DeviceConfig describes a simulated RTM device.
@@ -246,15 +252,21 @@ func TableIDBCCounts() []int { return rtm.TableIDBCCounts() }
 type SimResult = sim.Result
 
 // Simulate replays the sequence with the placement on the device and
-// returns shift/read/write counts, latency and the energy breakdown.
+// returns shift/read/write counts, latency and the energy breakdown. It
+// is a compat wrapper over the default Lab's SimulateOn.
 func Simulate(dev DeviceConfig, s *Sequence, p *Placement) (SimResult, error) {
-	return sim.RunSequence(dev, s, p)
+	return defaultLab().SimulateOn(context.Background(), dev, s, p)
 }
 
-// SimulateBenchmark places (with the given strategy) and replays every
-// sequence of a benchmark, accumulating totals.
+// SimulateBenchmark places (with the given strategy, defaulting to
+// DMA-OFU like PlaceTrace) and replays every sequence of a benchmark,
+// accumulating totals. It is a compat wrapper over the default Lab's
+// SimulateBenchmarkOn, so the cells fan out on the experiment engine
+// and opts.Workers is honored (totals are bit-identical for any worker
+// count).
 func SimulateBenchmark(dev DeviceConfig, b *Benchmark, strategy Strategy, opts PlaceOptions) (SimResult, error) {
-	return sim.RunBenchmark(dev, b, sim.StrategyPlacer(strategy, opts.options()))
+	opts.Strategy = strategy
+	return defaultLab().SimulateBenchmarkOn(context.Background(), dev, b, opts)
 }
 
 // EnergyParams exposes the Table I row for a DBC count.
