@@ -44,6 +44,7 @@ func main() {
 		bench      = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 31)")
 		csvDir     = flag.String("csv-dir", "", "also write each experiment's dataset as CSV into this directory")
 		maxPorts   = flag.Int("max-ports", 4, "port counts for the ports sweep")
+		ports      = flag.Int("ports", 0, "access ports per track for every experiment (0/1 = the paper's single-port model); the ports sweep ignores this and sweeps 1..max-ports")
 		workers    = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the experiment engine and GA fitness evaluation")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		convBench  = flag.String("convergence-benchmark", "", "benchmark for -exp convergence (default: whole-suite largest)")
@@ -82,6 +83,9 @@ func main() {
 	}
 	if *bench != "" {
 		cfg.Benchmarks = strings.Split(*bench, ",")
+	}
+	if *ports > 0 {
+		cfg.Ports = *ports
 	}
 	labOpts := []racetrack.Option{}
 	if *workers > 0 {

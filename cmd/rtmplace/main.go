@@ -34,6 +34,7 @@ func main() {
 	var (
 		strategy   = flag.String("strategy", "DMA-SR", "placement strategy: "+strategyNames())
 		dbcs       = flag.Int("dbcs", 4, "number of DBCs (2, 4, 8 or 16 for Table I energy numbers)")
+		ports      = flag.Int("ports", 1, "access ports per track; >1 optimizes and simulates under the multi-port cost model")
 		capacity   = flag.Int("capacity", 0, "per-DBC capacity in words (0 = unlimited)")
 		format     = flag.String("format", "vars", "trace format: 'vars' (named variables) or 'addr' (raw R/W address records)")
 		wordSize   = flag.Int("word-bytes", 4, "word granularity for -format addr")
@@ -61,7 +62,7 @@ func main() {
 	}
 	cfg := runConfig{
 		path: flag.Arg(0), strategy: *strategy, format: *format,
-		wordBytes: *wordSize, dbcs: *dbcs, capacity: *capacity,
+		wordBytes: *wordSize, dbcs: *dbcs, ports: *ports, capacity: *capacity,
 		gaGens: *gaGens, gaMu: *gaMu, rwIters: *rwIters,
 		workers: *workers, seed: *seed, timeout: *timeout, verbose: *verbose,
 	}
@@ -89,6 +90,7 @@ type runConfig struct {
 	format    string
 	wordBytes int
 	dbcs      int
+	ports     int
 	capacity  int
 	gaGens    int
 	gaMu      int
@@ -160,9 +162,11 @@ func run(cfg runConfig) error {
 		Capacity: cfg.capacity,
 		GA:       ga,
 		RW:       racetrack.RWConfig{Iterations: cfg.rwIters, Seed: cfg.seed},
+		Ports:    cfg.ports,
 	}
 
-	fmt.Printf("%s: %d sequence(s), strategy %s, %d DBCs\n", name, len(b.Sequences), opts.Strategy, cfg.dbcs)
+	fmt.Printf("%s: %d sequence(s), strategy %s, %d DBCs, %d port(s)/track\n",
+		name, len(b.Sequences), opts.Strategy, cfg.dbcs, cfg.ports)
 
 	// Sequences are independent placement problems: the Lab fans them out
 	// on the shared experiment engine and reports in input order.
@@ -179,11 +183,20 @@ func run(cfg runConfig) error {
 	}
 	fmt.Printf("total shifts: %d\n", res.TotalShifts)
 
-	// Energy/latency when a Table I configuration was selected.
+	// Energy/latency when a Table I configuration was selected. The
+	// simulated device carries the same port count the placements were
+	// optimized under, so the replayed shift counts match the reported
+	// cost model.
 	dev, err := racetrack.TableIDevice(cfg.dbcs)
 	if err != nil {
 		fmt.Printf("(no Table I energy model for %d DBCs; shift count only)\n", cfg.dbcs)
 		return nil
+	}
+	if cfg.ports > 1 {
+		dev.Geometry.PortsPerTrack = cfg.ports
+		if err := dev.Geometry.Validate(); err != nil {
+			return err
+		}
 	}
 	var agg racetrack.SimResult
 	for i, s := range b.Sequences {

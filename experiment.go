@@ -215,11 +215,11 @@ func (l *Lab) Run(ctx context.Context, spec ExperimentSpec) (*ExperimentResult, 
 func (l *Lab) experimentConfig(cfg ExperimentConfig) ExperimentConfig {
 	quick := eval.Quick()
 	gaZero := cfg.GA.Mu == 0 && cfg.GA.Seed == 0 && cfg.GA.Workers == 0 &&
-		cfg.GA.ImproveWeight == 0 && len(cfg.GA.Seeds) == 0
+		cfg.GA.ImproveWeight == 0 && len(cfg.GA.Seeds) == 0 && cfg.GA.Port == nil
 	rwZero := cfg.RW.Iterations == 0 && cfg.RW.Seed == 0
 	zero := len(cfg.DBCCounts) == 0 && cfg.Benchmarks == nil &&
 		cfg.MaxSequences == 0 && cfg.MaxSequenceLen == 0 &&
-		gaZero && rwZero && cfg.Capacity == 0
+		gaZero && rwZero && cfg.Capacity == 0 && cfg.Ports == 0
 	switch {
 	case zero:
 		quick.Parallel = cfg.Parallel
@@ -242,6 +242,7 @@ func (l *Lab) experimentConfig(cfg ExperimentConfig) ExperimentConfig {
 			ga.Seeds = cfg.GA.Seeds
 			ga.Capacity = cfg.GA.Capacity
 			ga.Kernel = cfg.GA.Kernel
+			ga.Port = cfg.GA.Port
 			cfg.GA = ga
 		}
 		if cfg.RW.Iterations == 0 {
@@ -251,11 +252,18 @@ func (l *Lab) experimentConfig(cfg ExperimentConfig) ExperimentConfig {
 			}
 			rw.Capacity = cfg.RW.Capacity
 			rw.Kernel = cfg.RW.Kernel
+			rw.Port = cfg.RW.Port
 			cfg.RW = rw
 		}
 	}
 	if cfg.Parallel == 0 {
 		cfg.Parallel = l.workers
+	}
+	// The cost model follows the Lab's device: a WithPorts Lab runs its
+	// experiments under the multi-port objective unless the spec pins a
+	// port count of its own.
+	if cfg.Ports == 0 {
+		cfg.Ports = l.device.Geometry.PortsPerTrack
 	}
 	cfg.Hooks = l.hooks()
 	return cfg

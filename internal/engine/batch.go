@@ -69,7 +69,11 @@ type Event struct {
 }
 
 // A PlaceJob is one placement cell: run one registry strategy on one
-// sequence at one DBC count.
+// sequence at one DBC count. Options carries the full per-cell knob
+// set, including the cost model: Options.Ports > 1 makes the cell
+// optimize and report under the exact multi-port model (the batch
+// kernel is still threaded — the single-port surrogate stages inside
+// port-aware strategies use it).
 type PlaceJob struct {
 	Sequence *trace.Sequence
 	Strategy placement.StrategyID

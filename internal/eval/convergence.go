@@ -47,7 +47,10 @@ func Convergence(ctx context.Context, cfg Config, name string) (*ConvergenceResu
 	if seq == nil {
 		return nil, fmt.Errorf("eval: empty suite")
 	}
-	q := cfg.DBCCounts[0]
+	q, err := cfg.firstDBCs()
+	if err != nil {
+		return nil, err
+	}
 	opts := cfg.options()
 
 	res := &ConvergenceResult{Benchmark: bench.Name, SequenceLen: seq.Len()}

@@ -12,6 +12,7 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/offsetstone"
 	"repro/internal/placement"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -41,6 +43,14 @@ type Config struct {
 	// Capacity, when positive, enforces per-DBC capacity during
 	// placement. The paper's evaluation leaves this off.
 	Capacity int
+	// Ports is the access-port count per track of the simulated devices
+	// and of the cost model every strategy optimizes and is scored
+	// under (0 or 1 = the paper's single-port evaluation). The port
+	// layout derives from the Table I track length of each DBC count
+	// (the iso-capacity device rule), so placement, evaluation and
+	// simulation agree on one geometry. PortsSweep ignores this and
+	// sweeps its own range.
+	Ports int
 	// Parallel sizes the engine worker pool shared by the experiment
 	// drivers: up to this many (sequence × strategy × DBC-count) cells
 	// run concurrently (0 or 1 = sequential). Results are deterministic
@@ -129,9 +139,47 @@ func (c Config) suite() ([]*trace.Benchmark, error) {
 	return out, nil
 }
 
-// options builds placement options from the config.
+// ErrNoDBCCounts reports a Config whose DBCCounts list is empty — the
+// drivers that evaluate at one DBC count (ports, headline, convergence,
+// tensor, the Fig. 6 base row) have no configuration to run at.
+var ErrNoDBCCounts = errors.New("eval: config has no DBC counts")
+
+// firstDBCs returns the first configured DBC count, or a typed error
+// when the list is empty or invalid (previously an index panic).
+func (c Config) firstDBCs() (int, error) {
+	if len(c.DBCCounts) == 0 {
+		return 0, ErrNoDBCCounts
+	}
+	if q := c.DBCCounts[0]; q > 0 {
+		return q, nil
+	}
+	return 0, fmt.Errorf("eval: invalid DBC count %d", c.DBCCounts[0])
+}
+
+// options builds placement options from the config. PortDomains stays
+// unset: the strategies resolve the layout from the iso-capacity rule
+// for their DBC count, which equals the Table I track length the
+// device helper below simulates with.
 func (c Config) options() placement.Options {
-	return placement.Options{Capacity: c.Capacity, GA: c.GA, RW: c.RW}
+	return placement.Options{Capacity: c.Capacity, GA: c.GA, RW: c.RW, Ports: c.Ports}
+}
+
+// device returns the simulated Table I device for q DBCs with the
+// configured port count applied to its geometry — the one place the
+// sim-based drivers derive devices from, so the simulator replays
+// exactly the geometry the placements were optimized against.
+func (c Config) device(q int) (sim.Config, error) {
+	dev, err := sim.TableIConfig(q)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	if c.Ports > 1 {
+		dev.Geometry.PortsPerTrack = c.Ports
+		if err := dev.Geometry.Validate(); err != nil {
+			return sim.Config{}, err
+		}
+	}
+	return dev, nil
 }
 
 // workers is the engine worker-pool size implied by Parallel. Every

@@ -91,10 +91,12 @@ func (r *Fig6Result) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// WriteCSV renders the ports sweep.
+// WriteCSV renders the ports sweep: replay-only and re-optimized totals
+// per strategy and port count.
 func (r *PortsResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"ports", "afd_ofu_shifts", "dma_sr_shifts", "improvement"}); err != nil {
+	if err := cw.Write([]string{"ports", "afd_ofu_shifts", "dma_sr_shifts", "dma_2opt_shifts",
+		"afd_ofu_reopt_shifts", "dma_sr_reopt_shifts", "dma_2opt_reopt_shifts", "improvement"}); err != nil {
 		return err
 	}
 	for _, row := range r.Rows {
@@ -102,6 +104,10 @@ func (r *PortsResult) WriteCSV(w io.Writer) error {
 			strconv.Itoa(row.Ports),
 			strconv.FormatInt(row.AFDOFU, 10),
 			strconv.FormatInt(row.DMASR, 10),
+			strconv.FormatInt(row.DMA2Opt, 10),
+			strconv.FormatInt(row.AFDOFUReopt, 10),
+			strconv.FormatInt(row.DMASRReopt, 10),
+			strconv.FormatInt(row.DMA2OptReopt, 10),
 			formatFloat(row.Improved),
 		}
 		if err := cw.Write(rec); err != nil {

@@ -25,7 +25,7 @@ func simGrid(ctx context.Context, cfg Config, suite []*trace.Benchmark, strategi
 	var jobs []engine.SimJob
 	var cells []cellKey
 	for qi, q := range cfg.DBCCounts {
-		simCfg, err := sim.TableIConfig(q)
+		simCfg, err := cfg.device(q)
 		if err != nil {
 			return nil, err
 		}

@@ -61,7 +61,7 @@ func Fig6(ctx context.Context, cfg Config) (*Fig6Result, error) {
 	}
 	data := map[int]*perQ{}
 	for qi, q := range cfg.DBCCounts {
-		simCfg, err := sim.TableIConfig(q)
+		simCfg, err := cfg.device(q)
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +72,10 @@ func Fig6(ctx context.Context, cfg Config) (*Fig6Result, error) {
 		}
 	}
 
-	baseQ := cfg.DBCCounts[0]
+	baseQ, err := cfg.firstDBCs()
+	if err != nil {
+		return nil, err
+	}
 	base := data[baseQ]
 	res := &Fig6Result{}
 	for _, q := range cfg.DBCCounts {

@@ -96,7 +96,10 @@ func LongGA(ctx context.Context, cfg Config, generations int) (*LongGAResult, er
 	if seq == nil {
 		return nil, fmt.Errorf("eval: empty suite")
 	}
-	q := cfg.DBCCounts[0]
+	q, err := cfg.firstDBCs()
+	if err != nil {
+		return nil, err
+	}
 	opts := cfg.options()
 
 	best := placement.StrategyID("")

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -29,11 +30,50 @@ func TestPortsSweep(t *testing.T) {
 	if res.Rows[0].Improved <= 1 {
 		t.Errorf("1-port improvement %.2f, want > 1", res.Rows[0].Improved)
 	}
+	// The device geometry is fixed across the sweep (the iso-capacity
+	// track length for the DBC count), not derived per sequence.
+	if res.Domains != 512 { // 2 DBCs -> 512 domains (Table I)
+		t.Errorf("Domains = %d, want 512", res.Domains)
+	}
+	for _, row := range res.Rows {
+		// Re-optimizing under the true objective can never lose to
+		// replaying the single-port placement on the same device: the
+		// heuristics are cost-model-free (equal), and DMA-2opt's
+		// port polish starts from the single-port result.
+		if row.AFDOFUReopt > row.AFDOFU {
+			t.Errorf("ports %d: AFD-OFU reopt %d worse than replay %d", row.Ports, row.AFDOFUReopt, row.AFDOFU)
+		}
+		if row.DMASRReopt > row.DMASR {
+			t.Errorf("ports %d: DMA-SR reopt %d worse than replay %d", row.Ports, row.DMASRReopt, row.DMASR)
+		}
+		if row.DMA2OptReopt > row.DMA2Opt {
+			t.Errorf("ports %d: DMA-2opt reopt %d worse than replay %d", row.Ports, row.DMA2OptReopt, row.DMA2Opt)
+		}
+	}
+	// At one port, re-optimization is the identical single-port path.
+	if r0 := res.Rows[0]; r0.AFDOFU != r0.AFDOFUReopt || r0.DMASR != r0.DMASRReopt || r0.DMA2Opt != r0.DMA2OptReopt {
+		t.Errorf("1-port reopt diverges from replay: %+v", r0)
+	}
 	if !strings.Contains(res.Render(), "Ports sweep") {
 		t.Error("render missing header")
 	}
 	if _, err := PortsSweep(context.Background(), cfg, 0); err == nil {
 		t.Error("maxPorts=0 accepted")
+	}
+}
+
+// TestPortsSweepValidatesDBCCounts pins the typed error for an empty
+// DBCCounts list (previously an index-out-of-range panic).
+func TestPortsSweepValidatesDBCCounts(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DBCCounts = nil
+	_, err := PortsSweep(context.Background(), cfg, 2)
+	if !errors.Is(err, ErrNoDBCCounts) {
+		t.Fatalf("err = %v, want ErrNoDBCCounts", err)
+	}
+	cfg.DBCCounts = []int{0}
+	if _, err := PortsSweep(context.Background(), cfg, 2); err == nil {
+		t.Fatal("non-positive DBC count accepted")
 	}
 }
 

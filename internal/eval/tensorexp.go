@@ -29,7 +29,10 @@ type TensorResult struct {
 // Tensor runs the bundled contraction suite at the first configured DBC
 // count.
 func Tensor(ctx context.Context, cfg Config) (*TensorResult, error) {
-	q := cfg.DBCCounts[0]
+	q, err := cfg.firstDBCs()
+	if err != nil {
+		return nil, err
+	}
 	opts := cfg.options()
 	res := &TensorResult{DBCs: q}
 	for _, c := range tensor.Suite() {

@@ -177,8 +177,27 @@ func ShiftCostBreakdown(s *trace.Sequence, p *Placement) (*CostBreakdown, error)
 // EngineCost replays the sequence through rtm shift engines, one per DBC,
 // supporting multi-port geometries. domainsPerDBC must be at least the
 // fullest DBC of the placement; ports is the number of access ports per
-// track. With ports == 1 this matches ShiftCost exactly.
+// track, spread by the canonical rtm.PortPositions rule over
+// domainsPerDBC domains. With ports == 1 this matches ShiftCost exactly.
+//
+// EngineCost (and EngineCostAt, its explicit-layout form) is the
+// repository's multi-port cost *oracle*: the allocation-free PortModel
+// evaluators in portcost.go are pinned bit-identical to it
+// (FuzzPortCostParity). Hot paths use those; this replay exists to be
+// trivially correct by construction.
 func EngineCost(s *trace.Sequence, p *Placement, domainsPerDBC, ports int) (int64, error) {
+	pos, err := rtm.PortPositions(domainsPerDBC, ports)
+	if err != nil {
+		return 0, err
+	}
+	return EngineCostAt(s, p, domainsPerDBC, pos)
+}
+
+// EngineCostAt is EngineCost with an explicit port layout, for devices
+// whose track length grew past the geometry the ports were fabricated
+// for (the layout then derives from the geometry's length, not the
+// grown one — see rtm.NewShiftEngineAt and sim.RunSequence).
+func EngineCostAt(s *trace.Sequence, p *Placement, domainsPerDBC int, portPos []int) (int64, error) {
 	if n := p.MaxDBCLen(); domainsPerDBC < n {
 		return 0, fmt.Errorf("placement: DBC holds %d variables but device has %d domains", n, domainsPerDBC)
 	}
@@ -188,7 +207,7 @@ func EngineCost(s *trace.Sequence, p *Placement, domainsPerDBC, ports int) (int6
 	}
 	engines := make([]*rtm.ShiftEngine, len(p.DBC))
 	for i := range engines {
-		e, err := rtm.NewShiftEngine(domainsPerDBC, ports)
+		e, err := rtm.NewShiftEngineAt(domainsPerDBC, portPos)
 		if err != nil {
 			return 0, err
 		}

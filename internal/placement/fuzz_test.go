@@ -82,6 +82,101 @@ func FuzzKernelParity(f *testing.F) {
 	})
 }
 
+// FuzzPortCostParity feeds arbitrary byte strings interpreted as
+// (variable universe, DBC count, port count, layout domains, access
+// sequence, DBC assignment, offset shuffle) and checks that the
+// allocation-free multi-port evaluator stays bit-identical to the
+// EngineCostAt shift-engine oracle for every port layout — including
+// tracks grown past the layout's domain count — and that the ports == 1
+// case stays bit-identical to the single-port replay oracle and the
+// cost kernel. Run in CI's fuzz-smoke job.
+func FuzzPortCostParity(f *testing.F) {
+	f.Add([]byte{5, 2, 2, 3, 0, 1, 2, 3, 4, 0, 1, 2, 1, 0, 3, 9, 9})
+	f.Add([]byte{3, 1, 1, 0, 0, 1, 2, 0, 1, 2, 2, 0, 1, 7})
+	f.Add([]byte{16, 3, 4, 20, 1, 5, 9, 2, 6, 10, 3, 7, 11, 0, 4, 8, 250, 1, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 || len(data) > 4096 {
+			t.Skip() // bound per-exec cost so the CI smoke job explores widely
+		}
+		numVars := 1 + int(data[0]%24)
+		q := 1 + int(data[1]%6)
+		ports := 1 + int(data[2]%6)
+		extraDomains := int(data[3] % 32)
+		body := data[4:]
+
+		cut := len(body) * 2 / 3
+		seqBytes, placeBytes := body[:cut], body[cut:]
+		if len(seqBytes) == 0 {
+			t.Skip()
+		}
+		names := make([]string, numVars)
+		for i := range names {
+			names[i] = "v" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		}
+		s := &trace.Sequence{Names: names}
+		for _, b := range seqBytes {
+			s.Append(int(b)%numVars, false)
+		}
+
+		p := NewEmpty(q)
+		for v := 0; v < numVars; v++ {
+			d := 0
+			if v < len(placeBytes) {
+				d = int(placeBytes[v]) % q
+			}
+			p.DBC[d] = append(p.DBC[d], v)
+		}
+		for bi := numVars; bi+1 < len(placeBytes); bi += 2 {
+			d := p.DBC[int(placeBytes[bi])%q]
+			if len(d) > 1 {
+				i := int(placeBytes[bi+1]) % len(d)
+				d[0], d[i] = d[i], d[0]
+			}
+		}
+
+		// The layout may derive from a track shorter than the occupancy
+		// (the grown-track case) or longer; never shorter than the port
+		// count.
+		layoutDomains := 1 + extraDomains
+		if layoutDomains < ports {
+			layoutDomains = ports
+		}
+		m, err := NewPortModel(layoutDomains, ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PortCost(s, p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engineDomains := layoutDomains
+		if n := p.MaxDBCLen(); n > engineDomains {
+			engineDomains = n
+		}
+		want, err := EngineCostAt(s, p, engineDomains, m.Positions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("PortCost %d, EngineCostAt %d (ports %d, layout %d)\nseq: %v\nplacement: %v",
+				got, want, ports, layoutDomains, s, p)
+		}
+		if ports == 1 {
+			replay, err := ShiftCost(s, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kernel, err := NewCostKernel(s).Evaluate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != replay || got != kernel {
+				t.Fatalf("single-port identity broken: PortCost %d, ShiftCost %d, kernel %d", got, replay, kernel)
+			}
+		}
+	})
+}
+
 // FuzzDeltaParity feeds arbitrary byte strings interpreted as (variable
 // universe, access sequence, move chain) and checks the incremental
 // DeltaEvaluator cost stays bit-identical to a full ShiftCost recompute

@@ -58,6 +58,15 @@ type GAConfig struct {
 	// of per-individual replays it replaces. Costs are bit-identical to
 	// the replay path either way.
 	Kernel *CostKernel
+	// Port, when non-nil, switches the objective to the multi-port cost
+	// model: fitness is the exact nearest-port replay (portcost.go) and
+	// the memetic improve operator polishes with the port-aware
+	// evaluator, so the GA searches the objective the device will
+	// realize instead of the single-port proxy. The kernel and its DBC
+	// cost cache only price the single-port model and are bypassed.
+	// Strategies resolve this from Options.Ports; nil is the paper's
+	// single-port model.
+	Port *PortModel
 }
 
 // DefaultGAConfig returns the paper's published GA parameters.
@@ -111,14 +120,27 @@ func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
 	// All fitness evaluation runs through the cost kernel: O(nnz) per
 	// individual, allocation-free after this point (the lookup buffer is
 	// reused in place). cfg.Kernel shares one build across callers (the
-	// engine batch layer, repeated GA runs on one sequence).
-	kern := kernelFor(cfg.Kernel, s)
-	cfg.Kernel = kern // the memetic improve operator derives its DeltaEvaluator from it
-	cache := newDBCCostCache(kern)
+	// engine batch layer, repeated GA runs on one sequence). Under a
+	// multi-port objective the kernel and its DBC cache cannot price the
+	// stateful model; fitness is the exact multi-port replay instead,
+	// allocation-free on the same reused buffers.
+	var kern *CostKernel
+	var cache *dbcCostCache
+	var portOff []int
+	if cfg.Port == nil {
+		kern = kernelFor(cfg.Kernel, s)
+		cfg.Kernel = kern // the memetic improve operator derives its DeltaEvaluator from it
+		cache = newDBCCostCache(kern)
+	} else {
+		portOff = make([]int, q)
+	}
 	evalCount := int64(0)
 	eval := func(p *Placement) int64 {
 		fillLookup(lookup, p)
 		evalCount++
+		if cfg.Port != nil {
+			return portCostLookup(s, lookup, cfg.Port, portOff)
+		}
 		return cache.eval(lookup, p)
 	}
 
@@ -170,7 +192,7 @@ func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
 		}
 		if cfg.Workers > 1 {
 			if workerCaches == nil {
-				workerCaches = makeWorkerCaches(s, kern, cfg.Workers)
+				workerCaches = makeWorkerCaches(s, kern, cfg.Port, q, cfg.Workers)
 			}
 			evalParallel(workerCaches, offspring)
 			evalCount += int64(len(offspring))
@@ -225,29 +247,41 @@ func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
 }
 
 // workerEval is one parallel-evaluation worker's private state: a
-// lookup buffer and a DBC cost cache that live for the whole GA run, so
-// cross-generation content sharing (elites, converged populations) hits
-// the cache in parallel mode exactly as it does serially.
+// lookup buffer and a DBC cost cache (or, under a multi-port objective,
+// a track-state buffer for the exact replay) that live for the whole GA
+// run, so cross-generation content sharing (elites, converged
+// populations) hits the cache in parallel mode exactly as it does
+// serially.
 type workerEval struct {
+	seq    *trace.Sequence
 	lookup *Lookup
 	cache  *dbcCostCache
+	port   *PortModel
+	off    []int
 }
 
-func makeWorkerCaches(s *trace.Sequence, kern *CostKernel, workers int) []*workerEval {
+func makeWorkerCaches(s *trace.Sequence, kern *CostKernel, pm *PortModel, q, workers int) []*workerEval {
 	out := make([]*workerEval, workers)
 	for w := range out {
-		out[w] = &workerEval{
+		we := &workerEval{
+			seq:    s,
 			lookup: &Lookup{DBCOf: make([]int, s.NumVars()), Offset: make([]int, s.NumVars())},
-			cache:  newDBCCostCache(kern),
+			port:   pm,
 		}
+		if pm == nil {
+			we.cache = newDBCCostCache(kern)
+		} else {
+			we.off = make([]int, q)
+		}
+		out[w] = we
 	}
 	return out
 }
 
 // evalParallel computes offspring fitness on a worker pool; each worker
-// owns its run-long lookup buffer and DBC cost cache, and all workers
-// share the immutable kernel. Costs are identical to the sequential
-// path (caches change speed, never values).
+// owns its run-long buffers, and all workers share the immutable kernel
+// (or port model). Costs are identical to the sequential path (caches
+// change speed, never values).
 func evalParallel(workers []*workerEval, offspring []individual) {
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -262,7 +296,11 @@ func evalParallel(workers []*workerEval, offspring []individual) {
 			defer wg.Done()
 			for i := range next {
 				fillLookup(we.lookup, offspring[i].p)
-				offspring[i].cost = we.cache.eval(we.lookup, offspring[i].p)
+				if we.port != nil {
+					offspring[i].cost = portCostLookup(we.seq, we.lookup, we.port, we.off)
+				} else {
+					offspring[i].cost = we.cache.eval(we.lookup, offspring[i].p)
+				}
 			}
 		}()
 	}
@@ -461,7 +499,7 @@ func mutate(rng *rand.Rand, p *Placement, s *trace.Sequence, cfg GAConfig) {
 	case r < cfg.MoveWeight+cfg.TransposeWeight+cfg.PermuteWeight:
 		mutatePermute(rng, p)
 	default:
-		mutateImprove(rng, p, s, cfg.Kernel)
+		mutateImprove(rng, p, s, cfg)
 	}
 }
 
@@ -471,7 +509,10 @@ func mutate(rng *rand.Rand, p *Placement, s *trace.Sequence, cfg GAConfig) {
 // GA's exploration pressure comes from the other operators. With a
 // kernel at hand (the GA always threads its own) the DeltaEvaluator is
 // derived from it in O(nnz) instead of replaying the access stream.
-func mutateImprove(rng *rand.Rand, p *Placement, s *trace.Sequence, kern *CostKernel) {
+// Under a multi-port objective the sweep runs on the port-aware
+// evaluator instead, so the polish improves the same cost the fitness
+// function charges.
+func mutateImprove(rng *rand.Rand, p *Placement, s *trace.Sequence, cfg GAConfig) {
 	var eligible []int
 	for d, vars := range p.DBC {
 		if len(vars) >= 3 {
@@ -482,6 +523,16 @@ func mutateImprove(rng *rand.Rand, p *Placement, s *trace.Sequence, kern *CostKe
 		return
 	}
 	d := eligible[rng.Intn(len(eligible))]
+	if pm := cfg.Port; pm != nil {
+		e := NewPortDeltaEvaluator(s, p.DBC[d], pm)
+		if e.Accesses() < 2 {
+			return
+		}
+		e.ImprovePass()
+		copy(p.DBC[d], e.CurrentOrder())
+		return
+	}
+	kern := cfg.Kernel
 	var e *DeltaEvaluator
 	if kern != nil && kern.Sequence() == s {
 		e = NewDeltaEvaluatorFromKernel(kern, p.DBC[d])
@@ -562,6 +613,10 @@ type RWConfig struct {
 	// Kernel optionally supplies a pre-built cost kernel for the
 	// sequence, exactly as GAConfig.Kernel does for the GA.
 	Kernel *CostKernel
+	// Port, when non-nil, evaluates candidates under the multi-port
+	// cost model (bounded exact replay), exactly as GAConfig.Port does
+	// for the GA. nil is the paper's single-port model.
+	Port *PortModel
 }
 
 // DefaultRWConfig returns the paper's random-walk parameters.
@@ -600,8 +655,12 @@ func RandomWalk(s *trace.Sequence, q int, cfg RWConfig) (*Placement, int64, erro
 	if kern != nil && kern.Sequence() != s {
 		kern = nil
 	}
-	if kern == nil {
-		kern = buildCostKernel(s, s.Len()/2)
+	if cfg.Port == nil {
+		if kern == nil {
+			kern = buildCostKernel(s, s.Len()/2)
+		}
+	} else {
+		kern = nil // the kernel prices the single-port model only
 	}
 	useKernel := kern != nil && kern.Candidates() < s.Len()/2
 	sc := replayPool.Get().(*replayScratch)
@@ -618,9 +677,12 @@ func RandomWalk(s *trace.Sequence, q int, cfg RWConfig) (*Placement, int64, erro
 	for it := 0; it < cfg.Iterations; it++ {
 		randomPlacementLookup(p, lookup, rng, vars, cfg.Capacity)
 		var c int64
-		if useKernel {
+		switch {
+		case cfg.Port != nil:
+			c = portCostLookupBounded(s, lookup, cfg.Port, last, bestCost)
+		case useKernel:
 			c = kern.CostBounded(lookup, bestCost)
-		} else {
+		default:
 			c = shiftCostLookupBounded(s, lookup, last, bestCost)
 		}
 		if best == nil || c < bestCost {

@@ -46,7 +46,7 @@ func TestGAMemeticStrategy(t *testing.T) {
 		if trial%2 == 0 { // exercise both the kernel-derived and replay setups
 			kern = NewCostKernel(seq)
 		}
-		mutateImprove(rng, p, seq, kern)
+		mutateImprove(rng, p, seq, GAConfig{Kernel: kern})
 		after, err := ShiftCost(seq, p)
 		if err != nil {
 			t.Fatal(err)

@@ -166,7 +166,7 @@ func (afdOFU) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, 
 		return nil, 0, err
 	}
 	p = ApplyIntra(p, 0, q, OFU, s, a)
-	c, err := costOf(s, p, opts)
+	c, err := costOf(s, p, q, opts)
 	return p, c, err
 }
 
@@ -188,7 +188,7 @@ func (d dma) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, e
 	// Algorithm 1 lines 22-23: intra-DBC optimization only on the
 	// non-disjoint DBCs; the disjoint DBCs keep access order.
 	p := ApplyIntra(r.Placement, r.DisjointDBCs, q, d.intra, s, a)
-	c, err := costOf(s, p, opts)
+	c, err := costOf(s, p, q, opts)
 	return p, c, err
 }
 
@@ -210,6 +210,13 @@ func (g ga) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, er
 	cfg.Capacity = opts.Capacity
 	if cfg.Kernel == nil {
 		cfg.Kernel = opts.Kernel // GA validates the sequence match itself
+	}
+	if cfg.Port == nil {
+		pm, err := opts.PortModelFor(q)
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg.Port = pm // fitness and the memetic polish follow the true objective
 	}
 	if g.memetic && cfg.ImproveWeight == 0 {
 		// Same order of magnitude as the paper's permute skew: rare
@@ -254,6 +261,13 @@ func (rw) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, erro
 	cfg.Capacity = opts.Capacity
 	if cfg.Kernel == nil {
 		cfg.Kernel = opts.Kernel
+	}
+	if cfg.Port == nil {
+		pm, err := opts.PortModelFor(q)
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg.Port = pm
 	}
 	return RandomWalk(s, q, cfg)
 }

@@ -3,6 +3,7 @@ package placement
 import (
 	"fmt"
 
+	"repro/internal/rtm"
 	"repro/internal/trace"
 )
 
@@ -60,12 +61,58 @@ type Options struct {
 	// threads it here. A kernel built from a different sequence (pointer
 	// identity) is ignored. Results are bit-identical either way.
 	Kernel *CostKernel
+	// Ports selects the cost model every strategy optimizes and reports
+	// under: 0 or 1 is the paper's single-port |x−y| model; larger
+	// values price placements with the exact multi-port nearest-port
+	// arithmetic of PortModel, so the objective matches what
+	// sim.RunSequence later replays on a PortsPerTrack > 1 geometry.
+	// The search strategies (GA, RW, DMA-2opt, GA-2opt) then also
+	// *search* under that objective; the constructive heuristics (AFD,
+	// DMA, the intra orderings) are cost-model-free and only have their
+	// result priced by it.
+	Ports int
+	// PortDomains is the track length (domain count) the evenly-spread
+	// port layout derives from when Ports > 1. 0 derives it from the
+	// deterministic iso-capacity device rule for the DBC count being
+	// placed (rtm.IsoCapacityGeometry — the Table I track length for
+	// Table I DBC counts), which keeps placement, evaluation and
+	// simulation on one geometry. Callers with an explicit device set
+	// it to Geometry.WordsPerDBC().
+	PortDomains int
 }
 
-// costOf prices a freshly computed placement: through the shared kernel
-// when the caller supplied one for this exact sequence, otherwise by
-// replaying the access stream. Both paths return identical costs.
-func costOf(s *trace.Sequence, p *Placement, opts Options) (int64, error) {
+// PortModelFor resolves the options' effective multi-port cost model
+// for a placement into q DBCs: nil for the single-port model, otherwise
+// a PortModel whose layout derives from PortDomains (or, when 0, from
+// the iso-capacity device rule for q DBCs).
+func (o Options) PortModelFor(q int) (*PortModel, error) {
+	if o.Ports <= 1 {
+		return nil, nil
+	}
+	domains := o.PortDomains
+	if domains == 0 {
+		g, err := rtm.IsoCapacityGeometry(q, o.Ports)
+		if err != nil {
+			return nil, err
+		}
+		domains = g.WordsPerDBC()
+	}
+	return NewPortModel(domains, o.Ports)
+}
+
+// costOf prices a freshly computed placement into q DBCs under the
+// options' cost model: the exact multi-port replay when Ports > 1,
+// otherwise the shared kernel when the caller supplied one for this
+// exact sequence, otherwise the replay oracle. The single-port paths
+// return bit-identical costs.
+func costOf(s *trace.Sequence, p *Placement, q int, opts Options) (int64, error) {
+	pm, err := opts.PortModelFor(q)
+	if err != nil {
+		return 0, err
+	}
+	if pm != nil {
+		return PortCost(s, p, pm)
+	}
 	if k := opts.Kernel; k != nil && k.Sequence() == s {
 		return k.Evaluate(p)
 	}

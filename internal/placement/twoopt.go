@@ -58,3 +58,27 @@ func twoOptWithKernel(vars []int, s *trace.Sequence, kern *CostKernel) []int {
 	}
 	return e.CurrentOrder()
 }
+
+// twoOptPort is the TwoOpt sweep under the multi-port cost model: the
+// same move families, first-improvement rule and pass bound, evaluated
+// by the PortDeltaEvaluator's exact restricted replay instead of the
+// single-port O(freq) deltas. Like TwoOpt it can only keep or improve
+// the order's cost — under the *port* objective — so a port polish pass
+// appended to any heuristic order never scores worse than that order on
+// a multi-port device.
+func twoOptPort(vars []int, s *trace.Sequence, m *PortModel) []int {
+	order := append([]int(nil), vars...)
+	if len(order) < 3 {
+		return order
+	}
+	e := NewPortDeltaEvaluator(s, order, m)
+	if e.Accesses() < 2 {
+		return order
+	}
+	for pass := 0; pass < maxTwoOptPasses; pass++ {
+		if !e.ImprovePass() {
+			break
+		}
+	}
+	return e.CurrentOrder()
+}

@@ -31,22 +31,60 @@ type ShiftEngine struct {
 	accesses int64
 }
 
-// NewShiftEngine creates a shift engine for a DBC with the given number of
-// word locations and evenly spaced ports. ports must be in [1, domains].
-func NewShiftEngine(domains, ports int) (*ShiftEngine, error) {
+// PortPositions returns the canonical evenly-spread port layout for a
+// track of the given length: port j sits at floor(j*domains/ports), so a
+// single port sits at position 0. This is the one deterministic rule
+// every layer derives port positions from — the shift engines here, the
+// cycle-accurate model in internal/rtmsim, the trace simulator
+// (sim.RunSequence) and the placement cost stack
+// (placement.NewPortModel) — so a placement priced by one layer scores
+// identically on every other.
+func PortPositions(domains, ports int) ([]int, error) {
 	if domains <= 0 {
 		return nil, fmt.Errorf("rtm: domains must be positive, got %d", domains)
 	}
 	if ports <= 0 || ports > domains {
 		return nil, fmt.Errorf("rtm: ports must be in [1,%d], got %d", domains, ports)
 	}
-	e := &ShiftEngine{domains: domains}
-	// Evenly spread ports: port j sits at floor(j*domains/ports), so a
-	// single port sits at position 0.
-	for j := 0; j < ports; j++ {
-		e.ports = append(e.ports, j*domains/ports)
+	pos := make([]int, ports)
+	for j := range pos {
+		pos[j] = j * domains / ports
 	}
-	return e, nil
+	return pos, nil
+}
+
+// NewShiftEngine creates a shift engine for a DBC with the given number of
+// word locations and evenly spaced ports. ports must be in [1, domains].
+func NewShiftEngine(domains, ports int) (*ShiftEngine, error) {
+	pos, err := PortPositions(domains, ports)
+	if err != nil {
+		return nil, err
+	}
+	return &ShiftEngine{domains: domains, ports: pos}, nil
+}
+
+// NewShiftEngineAt creates a shift engine with an explicit port layout —
+// the construction the simulator uses when a capacity-relaxed placement
+// grows the track past the configured geometry: the domain count grows,
+// but the ports stay at the physical positions the geometry fabricated
+// them at (growing would otherwise silently displace them). Positions
+// must be strictly increasing and inside [0, domains).
+func NewShiftEngineAt(domains int, positions []int) (*ShiftEngine, error) {
+	if domains <= 0 {
+		return nil, fmt.Errorf("rtm: domains must be positive, got %d", domains)
+	}
+	if len(positions) == 0 {
+		return nil, fmt.Errorf("rtm: at least one port position required")
+	}
+	for i, p := range positions {
+		if p < 0 || p >= domains {
+			return nil, fmt.Errorf("rtm: port position %d outside [0,%d)", p, domains)
+		}
+		if i > 0 && p <= positions[i-1] {
+			return nil, fmt.Errorf("rtm: port positions must be strictly increasing, got %v", positions)
+		}
+	}
+	return &ShiftEngine{domains: domains, ports: append([]int(nil), positions...)}, nil
 }
 
 // NewShiftEngineForGeometry builds a per-DBC engine from a geometry.

@@ -51,27 +51,40 @@ func (f *FaultyEngine) Access(x int) (int, error) {
 	if f.errorRate == 0 || nominal == 0 {
 		return nominal, nil
 	}
-	// Each nominal shift may slip by one domain. The controller's
+	// Each nominal shift may slip by one domain, overshooting (+1) or
+	// undershooting (-1) with equal probability. The controller's
 	// position sensor reads the offset after the burst; the residual
-	// error magnitude is the net slip, each unit of which takes one
-	// corrective shift (which may itself slip again).
+	// misalignment is the *signed net* slip — opposite-direction slips
+	// physically cancel and need no correction — and each residual
+	// domain takes one corrective shift (which may itself slip again).
+	// Summing slip magnitudes instead would charge corrective shifts
+	// for misalignment that no longer exists.
 	total := nominal
 	pending := nominal
 	for pending > 0 {
+		net := 0
 		slips := 0
 		for i := 0; i < pending; i++ {
 			if f.rng.Float64() < f.errorRate {
 				slips++
+				if f.rng.Intn(2) == 0 {
+					net++
+				} else {
+					net--
+				}
 			}
 		}
 		f.faults += int64(slips)
-		if slips == 0 {
+		if net < 0 {
+			net = -net
+		}
+		if net == 0 {
 			break
 		}
-		// Corrective burst: one shift per slipped domain.
-		f.corrective += int64(slips)
-		total += slips
-		pending = slips
+		// Corrective burst: one shift per residual domain of net slip.
+		f.corrective += int64(net)
+		total += net
+		pending = net
 	}
 	return total, nil
 }

@@ -82,6 +82,54 @@ func TestFaultyEngineDeterministic(t *testing.T) {
 	}
 }
 
+// TestFaultyEngineSignedSlipExpectation pins the corrected burst model:
+// slips are ±1 with equal probability, so the residual misalignment a
+// burst needs correcting is the *net* slip, not the slip count. For a
+// burst of n shifts at rate r the net slip is a sum of k ~ Bin(n, r)
+// independent signs: mean 0, variance E[k] = n·r, hence
+// E|net| ≈ sqrt(2·n·r/π) (half-normal). With n = 100 and r = 0.2 that
+// is ≈ 3.6 corrective shifts per burst (≈ 4.2 with the recursive
+// correction rounds) — the magnitude-sum model charged ≈ 25. The test
+// drives 2000 identical 100-shift bursts and pins the mean corrective
+// cost to the corrected expectation's band; the standard error of the
+// mean is ≈ 0.06, so the band is >10 sigma wide on both sides.
+func TestFaultyEngineSignedSlipExpectation(t *testing.T) {
+	const (
+		bursts = 2000
+		n      = 100
+		rate   = 0.2
+	)
+	f, err := NewFaultyEngine(n+1, 1, rate, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Access(0) // warm up: the first access is free
+	for i := 0; i < bursts; i++ {
+		if i%2 == 0 {
+			f.Access(n)
+		} else {
+			f.Access(0)
+		}
+	}
+	meanCorrective := float64(f.CorrectiveShifts()) / bursts
+	if meanCorrective < 2.5 || meanCorrective > 5.5 {
+		t.Errorf("mean corrective shifts per 100-shift burst = %.2f, want ≈ 4.2 (signed net slip)", meanCorrective)
+	}
+	// The old magnitude-sum accounting would sit near r/(1-r)·n = 25
+	// per burst; anything close means cancellation is not happening.
+	if meanCorrective > 8 {
+		t.Errorf("mean corrective %.2f per burst: opposite-direction slips are not cancelling", meanCorrective)
+	}
+	// Faults counts every injected slip; corrections only the residual.
+	meanFaults := float64(f.Faults()) / bursts
+	if meanFaults < 15 || meanFaults > 26 {
+		t.Errorf("mean injected slips per burst = %.2f, want ≈ 21", meanFaults)
+	}
+	if f.CorrectiveShifts() >= f.Faults() {
+		t.Errorf("corrective shifts %d not below injected slips %d", f.CorrectiveShifts(), f.Faults())
+	}
+}
+
 func TestFaultyEngineValidation(t *testing.T) {
 	if _, err := NewFaultyEngine(64, 1, -0.1, 1); err == nil {
 		t.Error("negative rate accepted")

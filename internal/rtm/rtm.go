@@ -77,6 +77,13 @@ func (g Geometry) CapacityBits() int64 {
 // the number of domains per track (one word per domain position).
 func (g Geometry) WordsPerDBC() int { return g.DomainsPerTrack }
 
+// PortPositions returns the geometry's canonical access-port layout:
+// PortsPerTrack ports evenly spread over DomainsPerTrack domains (see
+// the package-level PortPositions rule). The geometry must be valid.
+func (g Geometry) PortPositions() ([]int, error) {
+	return PortPositions(g.DomainsPerTrack, g.PortsPerTrack)
+}
+
 // PhysicalDomainsPerTrack returns the fabricated track length including
 // the overhead domains on both ends that let the data region shift past
 // the ports without losing bits.
@@ -95,28 +102,53 @@ func (g Geometry) String() string {
 // given DBC count (2, 4, 8 or 16): 32 tracks per DBC and 512/256/128/64
 // domains per track respectively.
 func TableIGeometry(dbcs int) (Geometry, error) {
-	domains := 0
 	switch dbcs {
-	case 2:
-		domains = 512
-	case 4:
-		domains = 256
-	case 8:
-		domains = 128
-	case 16:
-		domains = 64
-	default:
-		return Geometry{}, fmt.Errorf("rtm: no Table I configuration with %d DBCs (want 2, 4, 8 or 16)", dbcs)
+	case 2, 4, 8, 16:
+		return IsoCapacityGeometry(dbcs, 1)
 	}
-	return Geometry{
+	return Geometry{}, fmt.Errorf("rtm: no Table I configuration with %d DBCs (want 2, 4, 8 or 16)", dbcs)
+}
+
+// IsoCapacityGeometry generalizes the Table I rows to any DBC and port
+// count under the same iso-capacity rule: 32 tracks per DBC and 1024
+// words total, so DomainsPerTrack is 1024/dbcs (floored at the port
+// count so the layout stays constructible). For dbcs in {2, 4, 8, 16}
+// and one port this is exactly the Table I device. It is the single
+// deterministic device rule the multi-port cost stack derives domain
+// counts and port spacings from when no explicit geometry is at hand
+// (see placement.Options.Ports and eval.PortsSweep), which keeps the
+// optimizers' objective aligned with what sim.RunSequence later replays.
+func IsoCapacityGeometry(dbcs, ports int) (Geometry, error) {
+	if dbcs <= 0 {
+		return Geometry{}, fmt.Errorf("rtm: DBC count must be positive, got %d", dbcs)
+	}
+	if ports <= 0 {
+		return Geometry{}, fmt.Errorf("rtm: port count must be positive, got %d", ports)
+	}
+	domains := isoCapacityWords / dbcs
+	if domains < ports {
+		domains = ports
+	}
+	if domains < 1 {
+		domains = 1
+	}
+	g := Geometry{
 		Banks:            1,
 		SubarraysPerBank: 1,
 		DBCsPerSubarray:  dbcs,
 		TracksPerDBC:     32,
 		DomainsPerTrack:  domains,
-		PortsPerTrack:    1,
-	}, nil
+		PortsPerTrack:    ports,
+	}
+	if err := g.Validate(); err != nil {
+		return Geometry{}, err
+	}
+	return g, nil
 }
+
+// isoCapacityWords is the word total of the paper's 4 KiB array: 1024
+// words of TracksPerDBC = 32 bits.
+const isoCapacityWords = 1024
 
 // TableIDBCCounts lists the DBC counts evaluated in the paper.
 func TableIDBCCounts() []int { return []int{2, 4, 8, 16} }

@@ -255,3 +255,92 @@ func TestEngineReset(t *testing.T) {
 		t.Error("engine not cold after Reset")
 	}
 }
+
+func TestPortPositionsRule(t *testing.T) {
+	pos, err := PortPositions(8, 2)
+	if err != nil || len(pos) != 2 || pos[0] != 0 || pos[1] != 4 {
+		t.Fatalf("PortPositions(8,2) = %v, %v", pos, err)
+	}
+	pos, err = PortPositions(9, 3)
+	if err != nil || pos[0] != 0 || pos[1] != 3 || pos[2] != 6 {
+		t.Fatalf("PortPositions(9,3) = %v, %v", pos, err)
+	}
+	if _, err := PortPositions(0, 1); err == nil {
+		t.Error("zero domains accepted")
+	}
+	if _, err := PortPositions(4, 5); err == nil {
+		t.Error("more ports than domains accepted")
+	}
+	g, err := TableIGeometry(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := g.PortPositions()
+	if err != nil || len(gp) != 1 || gp[0] != 0 {
+		t.Fatalf("Table I port layout = %v, %v", gp, err)
+	}
+}
+
+func TestNewShiftEngineAt(t *testing.T) {
+	// A grown track keeps the fabricated layout: 12 domains, ports at
+	// the 8-domain geometry's positions.
+	e, err := NewShiftEngineAt(12, []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Ports(); got[0] != 0 || got[1] != 4 {
+		t.Fatalf("ports = %v", got)
+	}
+	// Equivalent accesses through NewShiftEngine(12, 2) would use ports
+	// {0, 6}; pin the layouts apart.
+	e2, _ := NewShiftEngine(12, 2)
+	if got := e2.Ports(); got[1] == 4 {
+		t.Fatalf("respaced layout %v unexpectedly equals fabricated layout", got)
+	}
+	if _, err := NewShiftEngineAt(4, nil); err == nil {
+		t.Error("empty layout accepted")
+	}
+	if _, err := NewShiftEngineAt(4, []int{0, 4}); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+	if _, err := NewShiftEngineAt(4, []int{2, 1}); err == nil {
+		t.Error("non-increasing layout accepted")
+	}
+}
+
+func TestIsoCapacityGeometry(t *testing.T) {
+	for _, q := range TableIDBCCounts() {
+		ti, err := TableIGeometry(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iso, err := IsoCapacityGeometry(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ti != iso {
+			t.Errorf("q=%d: Table I %+v != iso-capacity %+v", q, ti, iso)
+		}
+	}
+	g, err := IsoCapacityGeometry(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DomainsPerTrack != 341 || g.PortsPerTrack != 2 {
+		t.Errorf("IsoCapacityGeometry(3,2) = %+v", g)
+	}
+	// Degenerate: domain count floored at the port count.
+	g, err = IsoCapacityGeometry(2048, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DomainsPerTrack != 3 {
+		t.Errorf("floor failed: %+v", g)
+	}
+	if _, err := IsoCapacityGeometry(0, 1); err == nil {
+		t.Error("zero DBCs accepted")
+	}
+	if _, err := IsoCapacityGeometry(4, 0); err == nil {
+		t.Error("zero ports accepted")
+	}
+}

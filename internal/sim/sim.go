@@ -79,14 +79,22 @@ func RunSequence(cfg Config, s *trace.Sequence, p *placement.Placement) (Result,
 	// The device may have fewer domains than the (capacity-relaxed)
 	// placement needs; size engines to the placement so the shift counts
 	// remain those of the cost model. Energy/latency per shift still come
-	// from the configured Params.
+	// from the configured Params. The access ports stay at the positions
+	// the *geometry* fabricated them at: growing the track must not
+	// silently respace the ports, or the simulated costs diverge from
+	// every evaluator that priced the placement against the configured
+	// device (regression-tested in TestRunSequenceGrownTrackKeepsPorts).
+	ports, err := cfg.Geometry.PortPositions()
+	if err != nil {
+		return Result{}, err
+	}
 	domains := cfg.Geometry.WordsPerDBC()
 	if n := p.MaxDBCLen(); n > domains {
 		domains = n
 	}
 	engines := make([]*rtm.ShiftEngine, p.NumDBCs())
 	for i := range engines {
-		e, err := rtm.NewShiftEngine(domains, cfg.Geometry.PortsPerTrack)
+		e, err := rtm.NewShiftEngineAt(domains, ports)
 		if err != nil {
 			return Result{}, err
 		}

@@ -159,3 +159,62 @@ func TestBetterPlacementNeverCostsMore(t *testing.T) {
 		t.Error("fewer shifts but higher energy")
 	}
 }
+
+// TestRunSequenceGrownTrackKeepsPorts is the regression test for the
+// multi-port growth bug: when a capacity-relaxed placement exceeds the
+// geometry's domain count, the engines must keep the geometry's
+// fabricated port positions — sizing the port spread to the grown track
+// would silently displace the ports and diverge from every evaluator
+// that priced the placement against the configured device.
+func TestRunSequenceGrownTrackKeepsPorts(t *testing.T) {
+	g := rtm.Geometry{Banks: 1, SubarraysPerBank: 1, DBCsPerSubarray: 1,
+		TracksPerDBC: 1, DomainsPerTrack: 8, PortsPerTrack: 2}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Geometry: g}
+
+	// One DBC of 12 variables grows the 8-domain track to 12 domains;
+	// the access pattern bounces between offsets 0 and 6.
+	names := make([]string, 12)
+	vars := make([]int, 12)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+		vars[i] = i
+	}
+	s := &trace.Sequence{Names: names}
+	s.Append(0, false)
+	s.Append(6, false)
+	s.Append(0, false)
+	p := &placement.Placement{DBC: [][]int{vars}}
+
+	res, err := RunSequence(cfg, s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fabricated layout {0, 4}: a(0) free; g(6) -> 2 shifts via the
+	// port at 4; a(0) -> 2 shifts back. A layout respaced to the grown
+	// 12-domain track ({0, 6}) would serve the whole pattern for free.
+	if res.Counts.Shifts != 4 {
+		t.Fatalf("grown-track shifts = %d, want 4 (geometry port layout)", res.Counts.Shifts)
+	}
+	want, err := placement.EngineCostAt(s, p, 12, []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Shifts != want {
+		t.Fatalf("sim %d != evaluator %d on the same layout", res.Counts.Shifts, want)
+	}
+	// And the exact multi-port evaluator agrees on the same model.
+	m, err := placement.NewPortModel(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := placement.PortCost(s, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc != res.Counts.Shifts {
+		t.Fatalf("PortCost %d != simulated %d", pc, res.Counts.Shifts)
+	}
+}

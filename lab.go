@@ -85,6 +85,12 @@ func New(opts ...Option) (*Lab, error) {
 			l.device = dev
 		}
 	}
+	if cfg.ports > 0 {
+		l.device.Geometry.PortsPerTrack = cfg.ports
+		if err := l.device.Geometry.Validate(); err != nil {
+			cfg.errs = append(cfg.errs, fmt.Errorf("racetrack: WithPorts(%d): %w", cfg.ports, err))
+		}
+	}
 	cfg.errs = append(cfg.errs, cfg.register(l.registry)...)
 	if err := errors.Join(cfg.errs...); err != nil {
 		return nil, fmt.Errorf("racetrack: New: %w", err)
@@ -147,8 +153,9 @@ func (l *Lab) hooks() engine.Hooks {
 }
 
 // withDefaults fills the Lab-level defaults into per-call options: the
-// paper's DMA-OFU strategy, the Lab's device DBC count and the Lab's
-// worker-pool size.
+// paper's DMA-OFU strategy, the Lab's device DBC count, the Lab's
+// worker-pool size and the device's access-port count (the cost model
+// follows the device unless the caller pins Ports explicitly).
 func (l *Lab) withDefaults(opts PlaceOptions) PlaceOptions {
 	if opts.Strategy == "" {
 		opts.Strategy = DMAOFU
@@ -159,6 +166,9 @@ func (l *Lab) withDefaults(opts PlaceOptions) PlaceOptions {
 	if opts.Workers == 0 {
 		opts.Workers = l.workers
 	}
+	if opts.Ports == 0 {
+		opts.Ports = l.device.Geometry.PortsPerTrack
+	}
 	return opts
 }
 
@@ -167,24 +177,19 @@ func (l *Lab) withDefaults(opts PlaceOptions) PlaceOptions {
 // model (a mismatch means a buggy — typically custom — strategy). With
 // the kernel cache enabled both the strategy's cost evaluation and the
 // attribution run through the cached kernel; costs are bit-identical to
-// the replay path either way.
+// the replay path either way. When the effective cost model has more
+// than one port, both the strategy and the attribution price the exact
+// multi-port replay instead.
 func (l *Lab) placeOne(s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
 	stOpts := opts.options()
-	var kern *CostKernel
 	if l.cache != nil {
-		kern = l.cache.kernel(s)
-		stOpts.Kernel = kern
+		stOpts.Kernel = l.cache.kernel(s)
 	}
 	p, c, err := l.registry.Place(opts.Strategy, s, opts.DBCs, stOpts)
 	if err != nil {
 		return nil, err
 	}
-	var b *placement.CostBreakdown
-	if kern != nil {
-		b, err = kern.Breakdown(p)
-	} else {
-		b, err = placement.ShiftCostBreakdown(s, p)
-	}
+	b, err := l.breakdownFor(s, p, stOpts, opts.DBCs)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +243,7 @@ func (l *Lab) PlaceBenchmark(ctx context.Context, b *Benchmark, opts PlaceOption
 	// cache it is the replay pass the pre-session API also paid).
 	results, err := engine.Map(ctx, len(out), opts.Workers, func(_ context.Context, i int) (*PlaceResult, error) {
 		o := out[i]
-		bd, err := l.breakdown(b.Sequences[i], o.Placement)
+		bd, err := l.breakdownFor(b.Sequences[i], o.Placement, opts.options(), opts.DBCs)
 		if err != nil {
 			return nil, fmt.Errorf("sequence %d: %w", i, err)
 		}
@@ -258,9 +263,18 @@ func (l *Lab) PlaceBenchmark(ctx context.Context, b *Benchmark, opts PlaceOption
 	return res, nil
 }
 
-// breakdown attributes a placement's cost per DBC, through the kernel
-// cache when enabled.
-func (l *Lab) breakdown(s *Sequence, p *Placement) (*placement.CostBreakdown, error) {
+// breakdownFor attributes a placement's cost per DBC under the options'
+// effective cost model: the exact multi-port replay when the options
+// select more than one port, otherwise the kernel cache (when enabled)
+// or the replay oracle.
+func (l *Lab) breakdownFor(s *Sequence, p *Placement, stOpts StrategyOptions, q int) (*placement.CostBreakdown, error) {
+	pm, err := stOpts.PortModelFor(q)
+	if err != nil {
+		return nil, err
+	}
+	if pm != nil {
+		return placement.PortCostBreakdown(s, p, pm)
+	}
 	if l.cache != nil {
 		return l.cache.kernel(s).Breakdown(p)
 	}
@@ -293,15 +307,27 @@ func (l *Lab) SimulateBenchmark(ctx context.Context, b *Benchmark, opts PlaceOpt
 }
 
 // SimulateBenchmarkOn is SimulateBenchmark on an explicit device
-// configuration (the device's DBC count drives the placements).
+// configuration (the device's DBC count drives the placements, and its
+// port count drives the cost model the placements are optimized under
+// unless opts.Ports pins one).
 func (l *Lab) SimulateBenchmarkOn(ctx context.Context, dev DeviceConfig, b *Benchmark, opts PlaceOptions) (SimResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if opts.Ports == 0 {
+		opts.Ports = dev.Geometry.PortsPerTrack
+	}
 	opts = l.withDefaults(opts)
+	stOpts := opts.options()
+	if stOpts.Ports > 1 {
+		// The strategies must optimize against the explicit device's
+		// port layout, not the iso-capacity default — the two differ on
+		// custom geometries.
+		stOpts.PortDomains = dev.Geometry.WordsPerDBC()
+	}
 	jobs := make([]engine.SimJob, len(b.Sequences))
 	for i, s := range b.Sequences {
-		jobs[i] = engine.SimJob{Config: dev, Sequence: s, Strategy: opts.Strategy, Options: opts.options()}
+		jobs[i] = engine.SimJob{Config: dev, Sequence: s, Strategy: opts.Strategy, Options: stOpts}
 	}
 	out, err := engine.BatchSimulateWith(ctx, jobs, opts.Workers, l.hooks())
 	if err != nil {

@@ -18,6 +18,7 @@ type Option func(*labConfig)
 type labConfig struct {
 	workers    int
 	dbcs       int
+	ports      int
 	device     sim.Config
 	deviceSet  bool
 	kernelCap  int
@@ -74,6 +75,24 @@ func WithDevice(dbcs int) Option {
 		c.device = dev
 		c.deviceSet = true
 		c.dbcs = dbcs
+	}
+}
+
+// WithPorts sets the access-port count per track of the Lab's device
+// (default 1, the paper's evaluation setting). With n > 1 every layer
+// follows the device: placements are optimized and scored under the
+// exact multi-port cost model (nearest port, evenly spread over the
+// device's track length), experiments simulate the multi-port geometry,
+// and Simulate replays it — the objective the optimizers see is the one
+// the device realizes. n < 1 (or a port count exceeding the device's
+// domains per track) is an error.
+func WithPorts(n int) Option {
+	return func(c *labConfig) {
+		if n < 1 {
+			c.errs = append(c.errs, fmt.Errorf("racetrack: WithPorts(%d): port count must be >= 1", n))
+			return
+		}
+		c.ports = n
 	}
 }
 

@@ -1,0 +1,120 @@
+package racetrack
+
+import (
+	"context"
+	"testing"
+)
+
+// TestLabWithPortsAlignsModelAndSimulator pins the point of the
+// port-aware cost stack at the public surface: on a multi-port Lab the
+// cost a strategy reports is exactly the shift count the simulator
+// replays on the device — the objective the optimizer searched is the
+// one the hardware realizes.
+func TestLabWithPortsAlignsModelAndSimulator(t *testing.T) {
+	lab, err := New(WithDevice(4), WithPorts(2), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Device().Geometry.PortsPerTrack; got != 2 {
+		t.Fatalf("device ports = %d, want 2", got)
+	}
+	seq, err := ParseSequence("a b a c b a d c a b e d a c e b a d e c a b a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{AFDOFU, DMASR, DMA2Opt, RW} {
+		res, err := lab.Place(context.Background(), seq, PlaceOptions{Strategy: strat})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		sim, err := lab.Simulate(context.Background(), seq, res.Placement)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if sim.Counts.Shifts != res.Shifts {
+			t.Fatalf("%s: placed for %d shifts but the device replays %d", strat, res.Shifts, sim.Counts.Shifts)
+		}
+		var per int64
+		for _, c := range res.PerDBC {
+			per += c
+		}
+		if per != res.Shifts {
+			t.Fatalf("%s: per-DBC attribution %d != total %d", strat, per, res.Shifts)
+		}
+	}
+
+	// An explicit single-port override on the same Lab prices the
+	// paper's model and agrees with the flat single-port oracle.
+	res, err := lab.Place(context.Background(), seq, PlaceOptions{Strategy: DMASR, Ports: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := ShiftCost(seq, res.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shifts != oracle {
+		t.Fatalf("Ports=1 override reported %d, oracle %d", res.Shifts, oracle)
+	}
+}
+
+// TestLabWithPortsExperiments runs the ports sweep and a multi-port
+// Fig. 4 slice through the session API.
+func TestLabWithPortsExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers in -short")
+	}
+	lab, err := New(WithDevice(2), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QuickConfig()
+	cfg.Benchmarks = []string{"anagram"}
+	cfg.MaxSequences = 1
+	cfg.MaxSequenceLen = 200
+	cfg.GA = GAConfig{Mu: 6, Lambda: 6, Generations: 3, TournamentK: 2,
+		MutationRate: 0.5, MoveWeight: 10, TransposeWeight: 10, PermuteWeight: 3, Seed: 1}
+	cfg.RW = RWConfig{Iterations: 40, Seed: 1}
+	res, err := lab.Run(context.Background(), ExperimentSpec{
+		Experiment: ExperimentPorts, Config: cfg, MaxPorts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ports.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Ports.Rows))
+	}
+	for _, row := range res.Ports.Rows {
+		if row.DMA2OptReopt > row.DMA2Opt {
+			t.Errorf("ports %d: reopt %d worse than replay %d", row.Ports, row.DMA2OptReopt, row.DMA2Opt)
+		}
+	}
+
+	// A multi-port Lab threads its device's port count into every
+	// experiment config.
+	mp, err := New(WithDevice(2), WithPorts(4), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4, err := mp.Run(context.Background(), ExperimentSpec{Experiment: ExperimentFig4, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4.Fig4.Rows) == 0 {
+		t.Fatal("no Fig. 4 rows")
+	}
+}
+
+// TestWithPortsValidation checks the option's error paths.
+func TestWithPortsValidation(t *testing.T) {
+	if _, err := New(WithPorts(0)); err == nil {
+		t.Error("WithPorts(0) accepted")
+	}
+	// 4-DBC Table I device has 256 domains per track.
+	if _, err := New(WithDevice(4), WithPorts(257)); err == nil {
+		t.Error("more ports than domains accepted")
+	}
+	if _, err := New(WithDevice(4), WithPorts(256)); err != nil {
+		t.Errorf("WithPorts at the domain bound rejected: %v", err)
+	}
+}

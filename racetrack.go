@@ -195,11 +195,20 @@ type PlaceOptions struct {
 	// Workers sizes the worker pool PlaceBenchmark fans sequences out on
 	// (0 or 1 = sequential). Results are deterministic regardless.
 	Workers int
+	// Ports selects the access-port count of the cost model placements
+	// are optimized and scored under. 0 follows the Lab's device (one
+	// port unless WithPorts raised it); 1 forces the paper's
+	// single-port |x−y| model; larger values price and search under the
+	// exact multi-port nearest-port model, matching what Simulate
+	// replays on a PortsPerTrack > 1 device.
+	Ports int
 }
 
-// options lowers PlaceOptions to the per-strategy knobs.
+// options lowers PlaceOptions to the per-strategy knobs. The port
+// layout derives from the iso-capacity device rule for the DBC count
+// being placed — the same track length the Lab's Table I device has.
 func (o PlaceOptions) options() StrategyOptions {
-	return StrategyOptions{Capacity: o.Capacity, GA: o.GA, RW: o.RW}
+	return StrategyOptions{Capacity: o.Capacity, GA: o.GA, RW: o.RW, Ports: o.Ports}
 }
 
 // PlaceResult is the outcome of a placement run.
