@@ -10,8 +10,9 @@
 //	rtmbench -exp all -timeout 10m   # abort cleanly via context
 //
 // Experiments: table1, fig4, fig5, fig6, latency, headline, longga,
-// ports (extension: shifts vs access-port count), convergence (seeded vs
-// cold GA trajectories), tensor (LCTES'19-style contractions), all.
+// ports (extension: shifts vs access-port count), portfolio (extension:
+// race every strategy per sequence), convergence (seeded vs cold GA
+// trajectories), tensor (LCTES'19-style contractions), all.
 //
 // rtmbench is written entirely against the public racetrack.Lab session
 // API: one Lab runs every experiment through Lab.Run with a typed
@@ -34,8 +35,10 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, latency, headline, longga, ports, convergence, tensor, all")
+		exp        = flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, latency, headline, longga, ports, portfolio, convergence, tensor, all")
 		full       = flag.Bool("full", false, "use the paper's full GA/RW budgets (slow: hours)")
+		portfolio  = flag.Bool("portfolio", false, "shorthand for -exp portfolio")
+		islands    = flag.Int("islands", 0, "GA islands for every experiment's GA cells (>1: island-model GA with ring elite migration)")
 		out        = flag.String("out", "", "write results to this file as well as stdout")
 		maxSeq     = flag.Int("max-sequences", 0, "override sequences per benchmark (0 = config default)")
 		maxLen     = flag.Int("max-length", 0, "override max sequence length (0 = config default)")
@@ -80,6 +83,12 @@ func main() {
 	}
 	if *gaGens > 0 {
 		cfg.GA.Generations = *gaGens
+	}
+	if *islands > 0 {
+		cfg.GA.Islands = *islands
+	}
+	if *portfolio {
+		*exp = "portfolio"
 	}
 	if *bench != "" {
 		cfg.Benchmarks = strings.Split(*bench, ",")

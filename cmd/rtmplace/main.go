@@ -6,6 +6,8 @@
 //	rtmplace -strategy DMA-SR -dbcs 4 trace.txt
 //	echo "a b a b c c" | rtmplace -strategy AFD-OFU -dbcs 2 -
 //	rtmplace -strategy GA -timeout 30s trace.txt
+//	rtmplace -strategy GA -islands 4 trace.txt
+//	rtmplace -portfolio trace.txt
 //
 // The trace format is whitespace-separated variable names, "!" suffix for
 // writes, optionally split into multiple sequences with "seq <name>"
@@ -40,6 +42,8 @@ func main() {
 		wordSize   = flag.Int("word-bytes", 4, "word granularity for -format addr")
 		gaGens     = flag.Int("ga-generations", 200, "GA generations (strategy GA)")
 		gaMu       = flag.Int("ga-mu", 100, "GA population size (strategy GA)")
+		islands    = flag.Int("islands", 0, "GA islands: >1 runs the island-model GA with ring elite migration (strategy GA)")
+		portfolio  = flag.Bool("portfolio", false, "race the whole strategy portfolio per sequence and keep the winner (ignores -strategy)")
 		rwIters    = flag.Int("rw-iterations", 60000, "random-walk iterations (strategy RW)")
 		seed       = flag.Int64("seed", 1, "PRNG seed for GA/RW")
 		workers    = flag.Int("workers", runtime.NumCPU(), "worker goroutines for placing sequences concurrently")
@@ -63,8 +67,9 @@ func main() {
 	cfg := runConfig{
 		path: flag.Arg(0), strategy: *strategy, format: *format,
 		wordBytes: *wordSize, dbcs: *dbcs, ports: *ports, capacity: *capacity,
-		gaGens: *gaGens, gaMu: *gaMu, rwIters: *rwIters,
-		workers: *workers, seed: *seed, timeout: *timeout, verbose: *verbose,
+		gaGens: *gaGens, gaMu: *gaMu, islands: *islands, rwIters: *rwIters,
+		portfolio: *portfolio,
+		workers:   *workers, seed: *seed, timeout: *timeout, verbose: *verbose,
 	}
 	if err := run(cfg); err != nil {
 		stopProfiles()
@@ -94,6 +99,8 @@ type runConfig struct {
 	capacity  int
 	gaGens    int
 	gaMu      int
+	islands   int
+	portfolio bool
 	rwIters   int
 	workers   int
 	seed      int64
@@ -156,6 +163,7 @@ func run(cfg runConfig) error {
 	ga.Generations = cfg.gaGens
 	ga.Mu, ga.Lambda = cfg.gaMu, cfg.gaMu
 	ga.Seed = cfg.seed
+	ga.Islands = cfg.islands
 	opts := racetrack.PlaceOptions{
 		Strategy: racetrack.Strategy(cfg.strategy),
 		DBCs:     cfg.dbcs,
@@ -165,23 +173,53 @@ func run(cfg runConfig) error {
 		Ports:    cfg.ports,
 	}
 
-	fmt.Printf("%s: %d sequence(s), strategy %s, %d DBCs, %d port(s)/track\n",
-		name, len(b.Sequences), opts.Strategy, cfg.dbcs, cfg.ports)
-
-	// Sequences are independent placement problems: the Lab fans them out
-	// on the shared experiment engine and reports in input order.
-	res, err := lab.PlaceBenchmark(ctx, b, opts)
-	if err != nil {
-		return err
-	}
-	for i, s := range b.Sequences {
-		fmt.Printf("  seq %d: %d accesses, %d variables -> %d shifts\n",
-			i, s.Len(), len(s.Distinct()), res.Results[i].Shifts)
-		if cfg.verbose {
-			fmt.Printf("    %s\n", res.Results[i].Placement.Render(s))
+	// The placements per sequence, in input order, for the simulation
+	// below — filled by either the single-strategy or the portfolio path.
+	placements := make([]*racetrack.Placement, len(b.Sequences))
+	var total int64
+	if cfg.portfolio {
+		fmt.Printf("%s: %d sequence(s), portfolio race, %d DBCs, %d port(s)/track\n",
+			name, len(b.Sequences), cfg.dbcs, cfg.ports)
+		for i, s := range b.Sequences {
+			r, err := lab.PlacePortfolio(ctx, s, opts)
+			if err != nil {
+				return err
+			}
+			placements[i] = r.Placement
+			total += r.Shifts
+			pruned := 0
+			for _, e := range r.Entries {
+				if e.Abandoned {
+					pruned++
+				}
+			}
+			fmt.Printf("  seq %d: %d accesses, %d variables -> %d shifts (winner %s, %d/%d pruned)\n",
+				i, s.Len(), len(s.Distinct()), r.Shifts, r.Winner, pruned, len(r.Entries))
+			if cfg.verbose {
+				fmt.Printf("    %s\n", r.Placement.Render(s))
+			}
 		}
+	} else {
+		fmt.Printf("%s: %d sequence(s), strategy %s, %d DBCs, %d port(s)/track\n",
+			name, len(b.Sequences), opts.Strategy, cfg.dbcs, cfg.ports)
+
+		// Sequences are independent placement problems: the Lab fans them
+		// out on the shared experiment engine and reports in input order.
+		res, err := lab.PlaceBenchmark(ctx, b, opts)
+		if err != nil {
+			return err
+		}
+		for i, s := range b.Sequences {
+			placements[i] = res.Results[i].Placement
+			fmt.Printf("  seq %d: %d accesses, %d variables -> %d shifts\n",
+				i, s.Len(), len(s.Distinct()), res.Results[i].Shifts)
+			if cfg.verbose {
+				fmt.Printf("    %s\n", res.Results[i].Placement.Render(s))
+			}
+		}
+		total = res.TotalShifts
 	}
-	fmt.Printf("total shifts: %d\n", res.TotalShifts)
+	fmt.Printf("total shifts: %d\n", total)
 
 	// Energy/latency when a Table I configuration was selected. The
 	// simulated device carries the same port count the placements were
@@ -200,7 +238,7 @@ func run(cfg runConfig) error {
 	}
 	var agg racetrack.SimResult
 	for i, s := range b.Sequences {
-		r, err := lab.SimulateOn(ctx, dev, s, res.Results[i].Placement)
+		r, err := lab.SimulateOn(ctx, dev, s, placements[i])
 		if err != nil {
 			return err
 		}

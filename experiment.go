@@ -40,6 +40,9 @@ const (
 	ExperimentConvergence Experiment = "convergence"
 	// ExperimentTensor runs the LCTES'19-style tensor-contraction study.
 	ExperimentTensor Experiment = "tensor"
+	// ExperimentPortfolio races the whole strategy portfolio per
+	// sequence (extension study; see Lab.PlacePortfolio).
+	ExperimentPortfolio Experiment = "portfolio"
 )
 
 // Experiments lists every experiment in presentation order (the order
@@ -47,8 +50,9 @@ const (
 func Experiments() []Experiment {
 	return []Experiment{
 		ExperimentTable1, ExperimentFig4, ExperimentFig5, ExperimentFig6,
-		ExperimentPorts, ExperimentLatency, ExperimentHeadline,
-		ExperimentLongGA, ExperimentTensor, ExperimentConvergence,
+		ExperimentPorts, ExperimentPortfolio, ExperimentLatency,
+		ExperimentHeadline, ExperimentLongGA, ExperimentTensor,
+		ExperimentConvergence,
 	}
 }
 
@@ -91,6 +95,8 @@ type (
 	ConvergenceResult = eval.ConvergenceResult
 	// TensorResult is the tensor-contraction study dataset.
 	TensorResult = eval.TensorResult
+	// PortfolioStudyResult is the portfolio-race study dataset.
+	PortfolioStudyResult = eval.PortfolioStudyResult
 )
 
 // An ExperimentSpec selects and parameterizes one experiment for
@@ -125,6 +131,7 @@ type ExperimentResult struct {
 	Ports       *PortsResult
 	Convergence *ConvergenceResult
 	Tensor      *TensorResult
+	Portfolio   *PortfolioStudyResult
 }
 
 // Render returns the experiment's aligned text table (the same output
@@ -151,6 +158,8 @@ func (r *ExperimentResult) Render() string {
 		return r.Convergence.Render()
 	case r.Tensor != nil:
 		return r.Tensor.Render()
+	case r.Portfolio != nil:
+		return r.Portfolio.Render()
 	}
 	return ""
 }
@@ -194,6 +203,8 @@ func (l *Lab) Run(ctx context.Context, spec ExperimentSpec) (*ExperimentResult, 
 		res.Convergence, err = eval.Convergence(ctx, cfg, spec.Benchmark)
 	case ExperimentTensor:
 		res.Tensor, err = eval.Tensor(ctx, cfg)
+	case ExperimentPortfolio:
+		res.Portfolio, err = eval.Portfolio(ctx, cfg)
 	default:
 		err = fmt.Errorf("racetrack: unknown experiment %q", spec.Experiment)
 	}
@@ -215,7 +226,8 @@ func (l *Lab) Run(ctx context.Context, spec ExperimentSpec) (*ExperimentResult, 
 func (l *Lab) experimentConfig(cfg ExperimentConfig) ExperimentConfig {
 	quick := eval.Quick()
 	gaZero := cfg.GA.Mu == 0 && cfg.GA.Seed == 0 && cfg.GA.Workers == 0 &&
-		cfg.GA.ImproveWeight == 0 && len(cfg.GA.Seeds) == 0 && cfg.GA.Port == nil
+		cfg.GA.ImproveWeight == 0 && len(cfg.GA.Seeds) == 0 && cfg.GA.Port == nil &&
+		cfg.GA.Islands == 0
 	rwZero := cfg.RW.Iterations == 0 && cfg.RW.Seed == 0
 	zero := len(cfg.DBCCounts) == 0 && cfg.Benchmarks == nil &&
 		cfg.MaxSequences == 0 && cfg.MaxSequenceLen == 0 &&
@@ -243,6 +255,10 @@ func (l *Lab) experimentConfig(cfg ExperimentConfig) ExperimentConfig {
 			ga.Capacity = cfg.GA.Capacity
 			ga.Kernel = cfg.GA.Kernel
 			ga.Port = cfg.GA.Port
+			ga.Islands = cfg.GA.Islands
+			ga.MigrationEvery = cfg.GA.MigrationEvery
+			ga.Elites = cfg.GA.Elites
+			ga.IslandProgress = cfg.GA.IslandProgress
 			cfg.GA = ga
 		}
 		if cfg.RW.Iterations == 0 {

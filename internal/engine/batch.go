@@ -109,12 +109,15 @@ func BatchPlaceWith(ctx context.Context, jobs []PlaceJob, workers int, hooks Hoo
 	if err != nil {
 		return nil, err
 	}
-	return Map(ctx, len(jobs), workers, func(_ context.Context, i int) (PlaceOutcome, error) {
+	return Map(ctx, len(jobs), workers, func(ctx context.Context, i int) (PlaceOutcome, error) {
 		j := jobs[i]
 		if hooks.Progress != nil {
 			hooks.Progress(Event{Index: i, Total: len(jobs), Sequence: j.Sequence, Strategy: j.Strategy, DBCs: j.DBCs})
 		}
 		j.Options.Kernel = kernels[j.Sequence]
+		// Thread the batch context to the cell so long-running search
+		// strategies (the GA) can honor cancellation mid-search.
+		j.Options.Context = ctx
 		p, c, err := hooks.Place(j.Strategy, j.Sequence, j.DBCs, j.Options)
 		if hooks.Progress != nil {
 			hooks.Progress(Event{Index: i, Total: len(jobs), Sequence: j.Sequence, Strategy: j.Strategy, DBCs: j.DBCs, Done: true, Shifts: c, Err: err})
@@ -186,13 +189,14 @@ func BatchSimulateWith(ctx context.Context, jobs []SimJob, workers int, hooks Ho
 	if err != nil {
 		return nil, err
 	}
-	return Map(ctx, len(jobs), workers, func(_ context.Context, i int) (sim.Result, error) {
+	return Map(ctx, len(jobs), workers, func(ctx context.Context, i int) (sim.Result, error) {
 		j := jobs[i]
 		q := j.Config.Geometry.DBCs()
 		if hooks.Progress != nil {
 			hooks.Progress(Event{Index: i, Total: len(jobs), Sequence: j.Sequence, Strategy: j.Strategy, DBCs: q})
 		}
 		j.Options.Kernel = kernels[j.Sequence]
+		j.Options.Context = ctx
 		var r sim.Result
 		p, _, err := hooks.Place(j.Strategy, j.Sequence, q, j.Options)
 		if err == nil {

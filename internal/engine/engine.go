@@ -4,17 +4,17 @@
 // the CLI tools — fans work out through the same deterministic worker
 // pool instead of hand-rolling goroutine plumbing.
 //
-// Determinism contract: Run executes one job per index of [0, n) on up to
-// `workers` goroutines; callers write results only to their own index of
-// pre-sized slices, so results are position-stable and independent of the
-// worker count and of goroutine scheduling. Aggregations performed after
-// Run returns therefore see results in input order.
+// The pool itself lives in internal/pool (a leaf package, so the
+// placement layer's island GA and portfolio race can share it without an
+// import cycle); Run and Map here are thin aliases kept for the engine's
+// callers. The determinism contract is the pool's: results are
+// position-stable and independent of worker count and scheduling.
 package engine
 
 import (
 	"context"
-	"errors"
-	"sync"
+
+	"repro/internal/pool"
 )
 
 // Run executes fn(ctx, i) for every i in [0, n) on up to `workers`
@@ -29,93 +29,11 @@ import (
 // dispatching once the context is done and returns ctx.Err() when no job
 // error outranks it.
 func Run(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if n <= 0 {
-		return ctx.Err()
-	}
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := fn(ctx, i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errI = -1 // index of the lowest failing job
-		errV error
-	)
-	fail := func(i int, err error) {
-		mu.Lock()
-		// A job aborted by our own cancellation is a secondary failure;
-		// never let it mask the root cause.
-		if !(errV != nil && errors.Is(err, context.Canceled)) && (errI < 0 || i < errI) {
-			errI, errV = i, err
-		}
-		mu.Unlock()
-		cancel()
-	}
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if ctx.Err() != nil {
-					// A sibling failed (or the caller cancelled): drain
-					// the queue without running further jobs.
-					continue
-				}
-				if err := fn(ctx, i); err != nil {
-					fail(i, err)
-				}
-			}
-		}()
-	}
-dispatch:
-	for i := 0; i < n; i++ {
-		select {
-		case next <- i:
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(next)
-	wg.Wait()
-	if errV != nil {
-		return errV
-	}
-	return ctx.Err()
+	return pool.Run(ctx, n, workers, fn)
 }
 
 // Map runs fn over [0, n) with Run and collects the results in input
 // order. On error the partial results are discarded.
 func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	err := Run(ctx, n, workers, func(ctx context.Context, i int) error {
-		v, err := fn(ctx, i)
-		if err != nil {
-			return err
-		}
-		out[i] = v
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return pool.Map(ctx, n, workers, fn)
 }

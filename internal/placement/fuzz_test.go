@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/trace"
@@ -255,6 +256,65 @@ func FuzzDeltaParity(f *testing.F) {
 			if got, want := e.Cost(), full(); got != want {
 				t.Fatalf("move %d [%d,%d]: incremental %d, full %d", m, i, j, got, want)
 			}
+		}
+	})
+}
+
+// FuzzPortfolioParity feeds arbitrary byte strings interpreted as
+// (variable universe, DBC count, access sequence) and checks that the
+// concurrent, bound-pruned portfolio race returns exactly the winner and
+// cost of the sequential full-pricing oracle — the determinism claim of
+// DESIGN.md §11 under adversarial inputs. The portfolio is the
+// constructive heuristics plus DMA-2opt (the search strategies are too
+// slow for a fuzz exec and exercise no racing-specific code). Run in
+// CI's fuzz-smoke job alongside the kernel parity targets.
+func FuzzPortfolioParity(f *testing.F) {
+	f.Add([]byte{5, 2, 0, 1, 2, 3, 4, 0, 1, 2, 1, 0, 3, 9, 9})
+	f.Add([]byte{3, 1, 0, 1, 2, 0, 1, 2, 2, 0, 1, 7})
+	f.Add([]byte{16, 3, 1, 5, 9, 2, 6, 10, 3, 7, 11, 0, 4, 8, 250, 1, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 || len(data) > 1024 {
+			t.Skip() // bound per-exec cost so the CI smoke job explores widely
+		}
+		numVars := 1 + int(data[0]%24)
+		q := 1 + int(data[1]%6)
+		seqBytes := data[2:]
+
+		names := make([]string, numVars)
+		for i := range names {
+			names[i] = "v" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		}
+		s := &trace.Sequence{Names: names}
+		for _, b := range seqBytes {
+			s.Append(int(b)%numVars, false)
+		}
+
+		ids := append(HeuristicStrategies(), StrategyDMATwoOpt)
+		var opts Options
+
+		wantID, wantCost := StrategyID(""), int64(-1)
+		for _, id := range ids {
+			_, c, err := Place(id, s, q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantCost < 0 || c < wantCost {
+				wantID, wantCost = id, c
+			}
+		}
+
+		r, err := RacePortfolio(context.Background(), s, q, PortfolioConfig{
+			Strategies: ids, Workers: 4, Options: opts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Winner != wantID || r.Cost != wantCost {
+			t.Fatalf("race (%s, %d) != oracle (%s, %d)\nseq: %v",
+				r.Winner, r.Cost, wantID, wantCost, s)
+		}
+		if got, err := ShiftCost(s, r.Placement); err != nil || got != r.Cost {
+			t.Fatalf("winner replay %d (err %v), reported %d", got, err, r.Cost)
 		}
 	})
 }

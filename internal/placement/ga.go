@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -67,7 +68,38 @@ type GAConfig struct {
 	// Strategies resolve this from Options.Ports; nil is the paper's
 	// single-port model.
 	Port *PortModel
+	// Islands, when > 1, switches to the island model (islands.go): that
+	// many independent populations evolve on derived seeds and exchange
+	// elites over a ring every MigrationEvery generations, with islands
+	// running concurrently on up to Workers goroutines. Generations,
+	// Mu and Lambda are per island. Results are bit-identical for a
+	// fixed (Islands, MigrationEvery, Elites, Seed) tuple regardless of
+	// Workers and goroutine scheduling. 0 or 1 is the serial GA.
+	Islands int
+	// MigrationEvery is the island-model migration interval in
+	// generations (0 means DefaultMigrationEvery). Ignored unless
+	// Islands > 1.
+	MigrationEvery int
+	// Elites is the number of top individuals each island sends to its
+	// ring successor per migration (0 means DefaultElites, clamped to
+	// Mu). Ignored unless Islands > 1.
+	Elites int
+	// IslandProgress, when non-nil and Islands > 1, receives each
+	// island's generation count and best cost after every migration
+	// round. It is invoked from the coordinating goroutine between
+	// rounds (islands ascending), so it needs no locking of its own.
+	IslandProgress func(island, generation int, best int64)
 }
+
+// DefaultMigrationEvery is the island-model migration interval used when
+// GAConfig.MigrationEvery is 0: long enough for islands to diverge
+// between exchanges, short enough that a good elite spreads around a
+// small ring within a default 200-generation run.
+const DefaultMigrationEvery = 10
+
+// DefaultElites is the per-migration elite count used when
+// GAConfig.Elites is 0.
+const DefaultElites = 2
 
 // DefaultGAConfig returns the paper's published GA parameters.
 func DefaultGAConfig() GAConfig {
@@ -101,8 +133,81 @@ type individual struct {
 }
 
 // GA runs the paper's µ+λ genetic algorithm over complete placements for
-// the sequence into q DBCs.
+// the sequence into q DBCs. It is GAContext without cancellation.
 func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
+	return GAContext(context.Background(), s, q, cfg)
+}
+
+// GAContext is GA with cooperative cancellation: the context is checked
+// between generations (and, under the island model, between migration
+// rounds), so a Lab.Place deadline interrupts a long run instead of
+// being ignored. On cancellation it returns the best placement found so
+// far together with the context's error — callers that can use a
+// partial result get one, callers that cannot treat it as a plain
+// failure. With cfg.Islands > 1 the search runs the island model of
+// islands.go.
+func GAContext(ctx context.Context, s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Islands > 1 {
+		return islandGA(ctx, s, q, cfg)
+	}
+	r, err := newGARun(s, q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if r.trivial != nil {
+		return r.trivial, nil
+	}
+	for gen := 0; gen < cfg.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return r.result(), err
+		}
+		r.step()
+	}
+	return r.result(), nil
+}
+
+// gaRun is one GA population mid-search: the serial GA is a loop of
+// step() calls over a single gaRun, and the island model advances one
+// gaRun per island (islands.go), migrating elites between rounds. All
+// run-long state (PRNG stream, kernel + DBC cost cache, scratch buffers,
+// placement free list) lives here, so stepping stays allocation-free and
+// a run split into rounds is bit-identical to an uninterrupted one.
+type gaRun struct {
+	s    *trace.Sequence
+	q    int
+	cfg  GAConfig
+	rng  *rand.Rand
+	vars []int
+
+	lookup  *Lookup
+	kern    *CostKernel
+	cache   *dbcCostCache
+	portOff []int
+
+	pop  []individual
+	best individual
+
+	xsc          xoverScratch // crossover's variable→DBC tables, reused all run
+	pp           placementPool
+	workerCaches []*workerEval
+
+	gens      int
+	evalCount int64
+	history   []int64
+
+	// trivial short-circuits a sequence with no accessed variables: the
+	// search space is a single empty placement and stepping is
+	// meaningless.
+	trivial *GAResult
+}
+
+// newGARun validates the configuration and initializes the population
+// (heuristic seeds first, then random placements), exactly as the serial
+// GA always has.
+func newGARun(s *trace.Sequence, q int, cfg GAConfig) (*gaRun, error) {
 	if q <= 0 {
 		return nil, fmt.Errorf("placement: q must be positive, got %d", q)
 	}
@@ -112,138 +217,158 @@ func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
 	a := trace.Analyze(s)
 	vars := a.ByFirstUse() // variables indexed by appearance order, as the crossover requires
 	if len(vars) == 0 {
-		return &GAResult{Best: NewEmpty(q)}, nil
+		return &gaRun{trivial: &GAResult{Best: NewEmpty(q)}}, nil
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	lookup := &Lookup{DBCOf: make([]int, s.NumVars()), Offset: make([]int, s.NumVars())}
+	// The history preallocation is capped: a deadline-bounded run may ask
+	// for a huge generation budget and be cancelled after a handful, and
+	// an eager cfg.Generations-sized buffer would be allocated up front.
+	histCap := cfg.Generations
+	if histCap > 4096 {
+		histCap = 4096
+	}
+	r := &gaRun{
+		s:       s,
+		q:       q,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		vars:    vars,
+		lookup:  &Lookup{DBCOf: make([]int, s.NumVars()), Offset: make([]int, s.NumVars())},
+		history: make([]int64, 0, histCap),
+	}
 
 	// All fitness evaluation runs through the cost kernel: O(nnz) per
 	// individual, allocation-free after this point (the lookup buffer is
 	// reused in place). cfg.Kernel shares one build across callers (the
-	// engine batch layer, repeated GA runs on one sequence). Under a
-	// multi-port objective the kernel and its DBC cache cannot price the
-	// stateful model; fitness is the exact multi-port replay instead,
-	// allocation-free on the same reused buffers.
-	var kern *CostKernel
-	var cache *dbcCostCache
-	var portOff []int
+	// engine batch layer, repeated GA runs on one sequence, the islands
+	// of one island run). Under a multi-port objective the kernel and
+	// its DBC cache cannot price the stateful model; fitness is the
+	// exact multi-port replay instead, allocation-free on the same
+	// reused buffers.
 	if cfg.Port == nil {
-		kern = kernelFor(cfg.Kernel, s)
-		cfg.Kernel = kern // the memetic improve operator derives its DeltaEvaluator from it
-		cache = newDBCCostCache(kern)
+		r.kern = kernelFor(cfg.Kernel, s)
+		r.cfg.Kernel = r.kern // the memetic improve operator derives its DeltaEvaluator from it
+		r.cache = newDBCCostCache(r.kern)
 	} else {
-		portOff = make([]int, q)
-	}
-	evalCount := int64(0)
-	eval := func(p *Placement) int64 {
-		fillLookup(lookup, p)
-		evalCount++
-		if cfg.Port != nil {
-			return portCostLookup(s, lookup, cfg.Port, portOff)
-		}
-		return cache.eval(lookup, p)
+		r.portOff = make([]int, q)
 	}
 
-	pop := make([]individual, 0, cfg.Mu)
+	r.pop = make([]individual, 0, cfg.Mu)
 	for _, seed := range cfg.Seeds {
-		if len(pop) == cfg.Mu {
+		if len(r.pop) == cfg.Mu {
 			break
 		}
 		if seed.NumDBCs() != q {
 			return nil, fmt.Errorf("placement: seed has %d DBCs, want %d", seed.NumDBCs(), q)
 		}
 		c := seed.Clone()
-		pop = append(pop, individual{p: c, cost: eval(c)})
+		r.pop = append(r.pop, individual{p: c, cost: r.eval(c)})
 	}
-	for len(pop) < cfg.Mu {
-		p := randomPlacement(rng, vars, q, cfg.Capacity)
-		pop = append(pop, individual{p: p, cost: eval(p)})
-	}
-
-	best := pop[0]
-	for _, ind := range pop[1:] {
-		if ind.cost < best.cost {
-			best = ind
-		}
+	for len(r.pop) < cfg.Mu {
+		p := randomPlacement(r.rng, vars, q, cfg.Capacity)
+		r.pop = append(r.pop, individual{p: p, cost: r.eval(p)})
 	}
 
-	var xsc xoverScratch // crossover's variable→DBC tables, reused all run
-	var pp placementPool // recycles placements of non-surviving individuals
-	var workerCaches []*workerEval
-	res := &GAResult{History: make([]int64, 0, cfg.Generations)}
-	for gen := 0; gen < cfg.Generations; gen++ {
-		// Breed the whole offspring batch first (sequential, one PRNG
-		// stream), then evaluate fitness — possibly in parallel.
-		offspring := make([]individual, 0, cfg.Lambda)
-		for len(offspring) < cfg.Lambda {
-			p1 := tournament(rng, pop, cfg.TournamentK)
-			p2 := tournament(rng, pop, cfg.TournamentK)
-			c1, c2 := pp.clone(p1.p), pp.clone(p2.p)
-			crossoverInto(rng, c1, c2, vars, cfg.Capacity, &xsc)
-			for _, c := range []*Placement{c1, c2} {
-				if len(offspring) == cfg.Lambda {
-					break
-				}
-				if rng.Float64() < cfg.MutationRate {
-					mutate(rng, c, s, cfg)
-				}
-				offspring = append(offspring, individual{p: c})
-			}
-		}
-		if cfg.Workers > 1 {
-			if workerCaches == nil {
-				workerCaches = makeWorkerCaches(s, kern, cfg.Port, q, cfg.Workers)
-			}
-			evalParallel(workerCaches, offspring)
-			evalCount += int64(len(offspring))
-		} else {
-			for i := range offspring {
-				offspring[i].cost = eval(offspring[i].p)
-			}
-		}
-		// µ+λ selection via tournaments over the combined pool, with
-		// elitism: the best individual always survives.
-		pool := append(pop, offspring...)
-		next := make([]individual, 0, cfg.Mu)
-		poolBest := pool[0]
-		for _, ind := range pool[1:] {
-			if ind.cost < poolBest.cost {
-				poolBest = ind
-			}
-		}
-		next = append(next, poolBest)
-		for len(next) < cfg.Mu {
-			next = append(next, tournament(rng, pool, cfg.TournamentK))
-		}
-		pop = next
-		if poolBest.cost < best.cost {
-			best = poolBest
-		}
-		res.History = append(res.History, best.cost)
-
-		// Recycle the placements of offspring that did not survive
-		// selection (offspring pointers are unique, so no double-free;
-		// the all-time best is pinned even when an equal-cost rival
-		// displaced it from the population).
-		for _, o := range offspring {
-			survived := o.p == best.p
-			for _, ind := range pop {
-				if survived {
-					break
-				}
-				survived = ind.p == o.p
-			}
-			if !survived {
-				pp.put(o.p)
-			}
+	r.best = r.pop[0]
+	for _, ind := range r.pop[1:] {
+		if ind.cost < r.best.cost {
+			r.best = ind
 		}
 	}
+	return r, nil
+}
 
-	res.Best = best.p.Clone()
-	res.Cost = best.cost
-	res.Generations = cfg.Generations
-	res.Evaluations = evalCount
-	return res, nil
+// eval prices one placement under the run's objective.
+func (r *gaRun) eval(p *Placement) int64 {
+	fillLookup(r.lookup, p)
+	r.evalCount++
+	if r.cfg.Port != nil {
+		return portCostLookup(r.s, r.lookup, r.cfg.Port, r.portOff)
+	}
+	return r.cache.eval(r.lookup, p)
+}
+
+// step advances the population by one generation.
+func (r *gaRun) step() {
+	cfg := r.cfg
+	// Breed the whole offspring batch first (sequential, one PRNG
+	// stream), then evaluate fitness — possibly in parallel.
+	offspring := make([]individual, 0, cfg.Lambda)
+	for len(offspring) < cfg.Lambda {
+		p1 := tournament(r.rng, r.pop, cfg.TournamentK)
+		p2 := tournament(r.rng, r.pop, cfg.TournamentK)
+		c1, c2 := r.pp.clone(p1.p), r.pp.clone(p2.p)
+		crossoverInto(r.rng, c1, c2, r.vars, cfg.Capacity, &r.xsc)
+		for _, c := range []*Placement{c1, c2} {
+			if len(offspring) == cfg.Lambda {
+				break
+			}
+			if r.rng.Float64() < cfg.MutationRate {
+				mutate(r.rng, c, r.s, cfg)
+			}
+			offspring = append(offspring, individual{p: c})
+		}
+	}
+	if cfg.Workers > 1 {
+		if r.workerCaches == nil {
+			r.workerCaches = makeWorkerCaches(r.s, r.kern, cfg.Port, r.q, cfg.Workers)
+		}
+		evalParallel(r.workerCaches, offspring)
+		r.evalCount += int64(len(offspring))
+	} else {
+		for i := range offspring {
+			offspring[i].cost = r.eval(offspring[i].p)
+		}
+	}
+	// µ+λ selection via tournaments over the combined pool, with
+	// elitism: the best individual always survives.
+	pool := append(r.pop, offspring...)
+	next := make([]individual, 0, cfg.Mu)
+	poolBest := pool[0]
+	for _, ind := range pool[1:] {
+		if ind.cost < poolBest.cost {
+			poolBest = ind
+		}
+	}
+	next = append(next, poolBest)
+	for len(next) < cfg.Mu {
+		next = append(next, tournament(r.rng, pool, cfg.TournamentK))
+	}
+	r.pop = next
+	if poolBest.cost < r.best.cost {
+		r.best = poolBest
+	}
+	r.gens++
+	r.history = append(r.history, r.best.cost)
+
+	// Recycle the placements of offspring that did not survive
+	// selection (offspring pointers are unique, so no double-free;
+	// the all-time best is pinned even when an equal-cost rival
+	// displaced it from the population).
+	for _, o := range offspring {
+		survived := o.p == r.best.p
+		for _, ind := range r.pop {
+			if survived {
+				break
+			}
+			survived = ind.p == o.p
+		}
+		if !survived {
+			r.pp.put(o.p)
+		}
+	}
+}
+
+// result packages the run's best-so-far state. Generations reports the
+// generations actually stepped, so a cancelled run is distinguishable
+// from a completed one.
+func (r *gaRun) result() *GAResult {
+	return &GAResult{
+		Best:        r.best.p.Clone(),
+		Cost:        r.best.cost,
+		Generations: r.gens,
+		Evaluations: r.evalCount,
+		History:     r.history,
+	}
 }
 
 // workerEval is one parallel-evaluation worker's private state: a

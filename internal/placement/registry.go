@@ -159,13 +159,22 @@ type afdOFU struct{}
 
 func (afdOFU) Name() string { return string(StrategyAFDOFU) }
 
-func (afdOFU) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
+// construct computes the placement without pricing it — the portfolio
+// race prices it with bounded evaluation instead (portfolio.go).
+func (afdOFU) construct(s *trace.Sequence, q int, opts Options) (*Placement, error) {
 	a := trace.Analyze(s)
 	p, err := AFD(a, q)
 	if err != nil {
+		return nil, err
+	}
+	return ApplyIntra(p, 0, q, OFU, s, a), nil
+}
+
+func (h afdOFU) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
+	p, err := h.construct(s, q, opts)
+	if err != nil {
 		return nil, 0, err
 	}
-	p = ApplyIntra(p, 0, q, OFU, s, a)
 	c, err := costOf(s, p, q, opts)
 	return p, c, err
 }
@@ -179,15 +188,24 @@ type dma struct {
 
 func (d dma) Name() string { return string(d.id) }
 
-func (d dma) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
+// construct computes the placement without pricing it — the portfolio
+// race prices it with bounded evaluation instead (portfolio.go).
+func (d dma) construct(s *trace.Sequence, q int, opts Options) (*Placement, error) {
 	a := trace.Analyze(s)
 	r, err := DMA(a, q, opts.Capacity)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	// Algorithm 1 lines 22-23: intra-DBC optimization only on the
 	// non-disjoint DBCs; the disjoint DBCs keep access order.
-	p := ApplyIntra(r.Placement, r.DisjointDBCs, q, d.intra, s, a)
+	return ApplyIntra(r.Placement, r.DisjointDBCs, q, d.intra, s, a), nil
+}
+
+func (d dma) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
+	p, err := d.construct(s, q, opts)
+	if err != nil {
+		return nil, 0, err
+	}
 	c, err := costOf(s, p, q, opts)
 	return p, c, err
 }
@@ -205,7 +223,16 @@ func (g ga) Name() string { return string(g.id) }
 func (g ga) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, error) {
 	cfg := opts.GA
 	if cfg.Mu == 0 {
+		island := cfg
 		cfg = DefaultGAConfig()
+		// The island topology (and its progress hook) rides along even
+		// when the search budget itself is defaulted — WithIslands on a
+		// session with an otherwise zero GA config must still fan out.
+		cfg.Islands = island.Islands
+		cfg.MigrationEvery = island.MigrationEvery
+		cfg.Elites = island.Elites
+		cfg.IslandProgress = island.IslandProgress
+		cfg.Workers = island.Workers
 	}
 	cfg.Capacity = opts.Capacity
 	if cfg.Kernel == nil {
@@ -230,8 +257,14 @@ func (g ga) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, er
 		}
 		cfg.Seeds = seeds
 	}
-	res, err := GA(s, q, cfg)
+	res, err := GAContext(opts.ctx(), s, q, cfg)
 	if err != nil {
+		// A cancelled search still carries its best-so-far placement;
+		// surface it alongside the context error so deadline-bounded
+		// callers can keep the partial result.
+		if res != nil && res.Best != nil {
+			return res.Best, res.Cost, err
+		}
 		return nil, 0, err
 	}
 	return res.Best, res.Cost, nil

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/rtm"
@@ -79,6 +80,21 @@ type Options struct {
 	// simulation on one geometry. Callers with an explicit device set
 	// it to Geometry.WordsPerDBC().
 	PortDomains int
+	// Context, when non-nil, is consulted by the long-running search
+	// strategies: the GA checks it between generations (and between
+	// island migration rounds), so a deadline or cancellation
+	// interrupts the search instead of being ignored. The engine batch
+	// layer and the session API thread their call context here; nil
+	// means run to completion.
+	Context context.Context
+}
+
+// ctx returns the options' context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // PortModelFor resolves the options' effective multi-port cost model

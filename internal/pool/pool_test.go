@@ -1,0 +1,72 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunPositionStable(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 16} {
+		out := make([]int, 100)
+		err := Run(context.Background(), len(out), workers, func(_ context.Context, i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 7} {
+		err := Run(context.Background(), 50, workers, func(_ context.Context, i int) error {
+			if i%9 == 4 { // fails at 4, 13, 22, ...
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 4 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 4 failed", workers, err)
+		}
+	}
+}
+
+func TestRunCancellationSkipsJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := Run(ctx, 1000, 4, func(ctx context.Context, i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not skip any jobs (ran %d)", n)
+	}
+}
+
+func TestMapCollectsInOrder(t *testing.T) {
+	out, err := Map(context.Background(), 20, 5, func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("v%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("out[%d] = %q", i, v)
+		}
+	}
+}

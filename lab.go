@@ -29,6 +29,7 @@ type Lab struct {
 	registry *placement.Registry
 	workers  int
 	dbcs     int
+	islands  int
 	device   DeviceConfig
 	cache    *kernelCache
 
@@ -40,6 +41,12 @@ type Lab struct {
 // one strategy at one DBC count) as it starts (Done == false) and
 // finishes (Done == true, with the shift cost or the error). Cells is
 // the batch size; single-sequence calls report one cell.
+//
+// An island-model GA run additionally reports intermediate events
+// between migration rounds: Island >= 0 identifies the island,
+// Generation its generation count and Shifts its best cost so far (Done
+// stays false — the cell is still running). Every other event carries
+// Island == -1.
 type ProgressEvent struct {
 	// Cell indexes the cell within its batch of Cells.
 	Cell, Cells int
@@ -48,9 +55,15 @@ type ProgressEvent struct {
 	// Strategy and DBCs identify the work item.
 	Strategy Strategy
 	DBCs     int
+	// Island is the reporting island of an island-model GA progress
+	// event, or -1 on regular cell events.
+	Island int
+	// Generation is the island's generation count on island events.
+	Generation int
 	// Done distinguishes started (false) from finished (true) events.
 	Done bool
-	// Shifts is the cell's shift cost, valid when Done && Err == nil.
+	// Shifts is the cell's shift cost, valid when Done && Err == nil
+	// (on island events: the island's best cost so far).
 	Shifts int64
 	// Err is the cell's failure, if any, when Done.
 	Err error
@@ -73,6 +86,7 @@ func New(opts ...Option) (*Lab, error) {
 		registry: placement.NewRegistry(),
 		workers:  cfg.workers,
 		dbcs:     cfg.dbcs,
+		islands:  cfg.islands,
 		device:   cfg.device,
 		cache:    newKernelCache(cfg.kernelCap),
 		progress: cfg.progress,
@@ -145,7 +159,7 @@ func (l *Lab) hooks() engine.Hooks {
 			l.emit(ProgressEvent{
 				Cell: ev.Index, Cells: ev.Total,
 				Sequence: ev.Sequence, Strategy: ev.Strategy, DBCs: ev.DBCs,
-				Done: ev.Done, Shifts: ev.Shifts, Err: ev.Err,
+				Island: -1, Done: ev.Done, Shifts: ev.Shifts, Err: ev.Err,
 			})
 		}
 	}
@@ -169,6 +183,14 @@ func (l *Lab) withDefaults(opts PlaceOptions) PlaceOptions {
 	if opts.Ports == 0 {
 		opts.Ports = l.device.Geometry.PortsPerTrack
 	}
+	if opts.GA.Islands == 0 {
+		opts.GA.Islands = l.islands
+	}
+	if opts.GA.Islands > 1 && opts.GA.Workers == 0 {
+		// The islands are the GA's parallel axis; give them the call's
+		// worker budget (results are worker-count independent).
+		opts.GA.Workers = opts.Workers
+	}
 	return opts
 }
 
@@ -180,10 +202,19 @@ func (l *Lab) withDefaults(opts PlaceOptions) PlaceOptions {
 // the replay path either way. When the effective cost model has more
 // than one port, both the strategy and the attribution price the exact
 // multi-port replay instead.
-func (l *Lab) placeOne(s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
+func (l *Lab) placeOne(ctx context.Context, s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
 	stOpts := opts.options()
+	stOpts.Context = ctx
 	if l.cache != nil {
 		stOpts.Kernel = l.cache.kernel(s)
+	}
+	if l.progress != nil && stOpts.GA.Islands > 1 && stOpts.GA.IslandProgress == nil {
+		stOpts.GA.IslandProgress = func(island, generation int, best int64) {
+			l.emit(ProgressEvent{
+				Cells: 1, Sequence: s, Strategy: opts.Strategy, DBCs: opts.DBCs,
+				Island: island, Generation: generation, Shifts: best,
+			})
+		}
 	}
 	p, c, err := l.registry.Place(opts.Strategy, s, opts.DBCs, stOpts)
 	if err != nil {
@@ -201,7 +232,9 @@ func (l *Lab) placeOne(s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
 
 // Place computes a placement for one access sequence with this Lab's
 // registry, defaults and kernel cache. The context aborts the call
-// before (and custom strategies may honor it during) the placement.
+// before the placement and interrupts the GA's search loop between
+// generations (and between island migration rounds); custom strategies
+// may honor it through StrategyOptions.Context.
 func (l *Lab) Place(ctx context.Context, s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -210,14 +243,86 @@ func (l *Lab) Place(ctx context.Context, s *Sequence, opts PlaceOptions) (*Place
 		return nil, err
 	}
 	opts = l.withDefaults(opts)
-	l.emit(ProgressEvent{Cells: 1, Sequence: s, Strategy: opts.Strategy, DBCs: opts.DBCs})
-	res, err := l.placeOne(s, opts)
-	done := ProgressEvent{Cells: 1, Sequence: s, Strategy: opts.Strategy, DBCs: opts.DBCs, Done: true, Err: err}
+	l.emit(ProgressEvent{Cells: 1, Sequence: s, Strategy: opts.Strategy, DBCs: opts.DBCs, Island: -1})
+	res, err := l.placeOne(ctx, s, opts)
+	done := ProgressEvent{Cells: 1, Sequence: s, Strategy: opts.Strategy, DBCs: opts.DBCs, Island: -1, Done: true, Err: err}
 	if err == nil {
 		done.Shifts = res.Shifts
 	}
 	l.emit(done)
 	return res, err
+}
+
+// A PortfolioResult reports a finished strategy race (PlacePortfolio):
+// the winning strategy, its placement with the per-DBC cost
+// attribution, and every raced strategy's outcome. Winner, Shifts and
+// Placement cost are deterministic for a fixed portfolio; an abandoned
+// entry's Cost is only a certificate that its true cost exceeds the
+// winner's (see StrategyOptions' package documentation of the race).
+type PortfolioResult struct {
+	// Winner is the first strategy in portfolio order achieving the
+	// best exact cost.
+	Winner Strategy
+	// Placement is the winner's layout.
+	Placement *Placement
+	// Shifts is the winner's total shift cost; PerDBC attributes it.
+	Shifts int64
+	PerDBC []int64
+	// Entries holds every strategy's outcome in portfolio order.
+	Entries []PortfolioEntry
+}
+
+// PlacePortfolio races placement strategies against each other on one
+// sequence: all strategies of opts.Portfolio (default: every strategy
+// registered in this Lab) run concurrently on opts.Workers goroutines,
+// sharing one cost-kernel build, and strategies whose cost provably
+// exceeds the running incumbent abandon their pricing early. The winner
+// — the best placement any strategy found, ties broken by portfolio
+// order — is deterministic regardless of scheduling. Each strategy
+// start/finish is reported through the progress callback with the
+// strategy's portfolio index as the cell index.
+func (l *Lab) PlacePortfolio(ctx context.Context, s *Sequence, opts PlaceOptions) (*PortfolioResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts = l.withDefaults(opts)
+	stOpts := opts.options()
+	if l.cache != nil {
+		stOpts.Kernel = l.cache.kernel(s)
+	}
+	pcfg := placement.PortfolioConfig{
+		Strategies: opts.Portfolio,
+		Registry:   l.registry,
+		Workers:    opts.Workers,
+		Options:    stOpts,
+	}
+	if l.progress != nil {
+		pcfg.Progress = func(ev placement.PortfolioEvent) {
+			l.emit(ProgressEvent{
+				Cell: ev.Index, Cells: ev.Total, Sequence: s,
+				Strategy: ev.Strategy, DBCs: opts.DBCs, Island: -1,
+				Done: ev.Done, Shifts: ev.Cost,
+			})
+		}
+	}
+	r, err := placement.RacePortfolio(ctx, s, opts.DBCs, pcfg)
+	if err != nil {
+		return nil, fmt.Errorf("racetrack: place portfolio: %w", err)
+	}
+	b, err := l.breakdownFor(s, r.Placement, stOpts, opts.DBCs)
+	if err != nil {
+		return nil, err
+	}
+	if b.Total != r.Cost {
+		return nil, fmt.Errorf("racetrack: portfolio winner %s reported %d shifts but the cost model attributes %d", r.Winner, r.Cost, b.Total)
+	}
+	return &PortfolioResult{
+		Winner: r.Winner, Placement: r.Placement,
+		Shifts: r.Cost, PerDBC: b.PerDBC, Entries: r.Entries,
+	}, nil
 }
 
 // PlaceBenchmark places every sequence of the benchmark with the

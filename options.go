@@ -19,6 +19,7 @@ type labConfig struct {
 	workers    int
 	dbcs       int
 	ports      int
+	islands    int
 	device     sim.Config
 	deviceSet  bool
 	kernelCap  int
@@ -93,6 +94,24 @@ func WithPorts(n int) Option {
 			return
 		}
 		c.ports = n
+	}
+}
+
+// WithIslands sets the Lab's default island count for GA-based
+// placements: every GA run of this Lab (Place, PlaceBenchmark, the
+// experiment drivers) uses the island-model search with n islands
+// exchanging elites over a ring, unless the call's GAConfig.Islands
+// overrides it. The islands run concurrently on the call's worker
+// budget; results are bit-identical for a fixed seed and island count
+// regardless of workers. n == 1 selects the serial GA explicitly; n < 1
+// is an error.
+func WithIslands(n int) Option {
+	return func(c *labConfig) {
+		if n < 1 {
+			c.errs = append(c.errs, fmt.Errorf("racetrack: WithIslands(%d): island count must be >= 1", n))
+			return
+		}
+		c.islands = n
 	}
 }
 

@@ -1,0 +1,205 @@
+package racetrack
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// quickPlaceOptions keeps the search strategies cheap enough for racing
+// and island runs in tests.
+func quickPlaceOptions(strategy Strategy) PlaceOptions {
+	return PlaceOptions{
+		Strategy: strategy,
+		GA: GAConfig{Mu: 12, Lambda: 12, Generations: 8, TournamentK: 4,
+			MutationRate: 0.5, MoveWeight: 10, TransposeWeight: 10, PermuteWeight: 3, Seed: 1},
+		RW: RWConfig{Iterations: 200, Seed: 1},
+	}
+}
+
+// PlacePortfolio must never lose to any individual strategy it raced,
+// its PerDBC attribution must sum to the winner's shifts, and the winner
+// must be reported among the entries with its exact cost.
+func TestLabPlacePortfolio(t *testing.T) {
+	lab, err := New(WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := compatBenchmark(t)
+	s := b.Sequences[0]
+	opts := quickPlaceOptions("")
+	r, err := lab.PlacePortfolio(context.Background(), s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != len(lab.RegisteredStrategies()) {
+		t.Fatalf("raced %d strategies, registry has %d", len(r.Entries), len(lab.RegisteredStrategies()))
+	}
+	var perDBC int64
+	for _, c := range r.PerDBC {
+		perDBC += c
+	}
+	if perDBC != r.Shifts {
+		t.Fatalf("PerDBC sums to %d, Shifts = %d", perDBC, r.Shifts)
+	}
+	won := false
+	for _, e := range r.Entries {
+		if e.Strategy == r.Winner {
+			won = true
+			if e.Abandoned || e.Cost != r.Shifts {
+				t.Fatalf("winner entry %+v does not match result %d", e, r.Shifts)
+			}
+		}
+	}
+	if !won {
+		t.Fatalf("winner %s missing from entries", r.Winner)
+	}
+	// The race must match or beat every individual strategy.
+	for _, id := range lab.RegisteredStrategies() {
+		o := opts
+		o.Strategy = id
+		pr, err := lab.Place(context.Background(), s, o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if r.Shifts > pr.Shifts {
+			t.Fatalf("portfolio %d shifts lost to %s alone (%d)", r.Shifts, id, pr.Shifts)
+		}
+	}
+	// An explicit sub-portfolio restricts the race.
+	o := opts
+	o.Portfolio = []Strategy{AFDOFU, DMASR}
+	r2, err := lab.PlacePortfolio(context.Background(), s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Entries) != 2 {
+		t.Fatalf("sub-portfolio raced %d strategies, want 2", len(r2.Entries))
+	}
+}
+
+// A Lab constructed WithIslands must produce deterministic GA
+// placements that are bit-identical for any worker count and match an
+// explicit per-call GAConfig.Islands request.
+func TestWithIslandsDeterministic(t *testing.T) {
+	b := compatBenchmark(t)
+	s := b.Sequences[0]
+	opts := quickPlaceOptions(GA)
+
+	var ref *PlaceResult
+	for _, workers := range []int{1, 4} {
+		lab, err := New(WithIslands(3), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := lab.Place(context.Background(), s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = r
+		} else if r.Shifts != ref.Shifts || !r.Placement.Equal(ref.Placement) {
+			t.Fatalf("WithIslands(3) diverged across worker counts: %d vs %d", r.Shifts, ref.Shifts)
+		}
+	}
+
+	// Explicit GAConfig.Islands on a plain Lab matches the Lab default.
+	plain, err := New(WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts
+	o.GA.Islands = 3
+	o.Workers = 4
+	r, err := plain.Place(context.Background(), s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shifts != ref.Shifts || !r.Placement.Equal(ref.Placement) {
+		t.Fatalf("explicit Islands=3 (%d) != WithIslands(3) Lab (%d)", r.Shifts, ref.Shifts)
+	}
+
+	// WithIslands(1) is the serial GA.
+	one, err := New(WithIslands(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := one.Place(context.Background(), s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := serial.Place(context.Background(), s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Shifts != r2.Shifts || !r1.Placement.Equal(r2.Placement) {
+		t.Fatal("WithIslands(1) diverged from the serial GA")
+	}
+
+	if _, err := New(WithIslands(0)); err == nil {
+		t.Fatal("WithIslands(0) accepted")
+	}
+}
+
+// Island-model GA runs emit per-island progress events between
+// migration rounds, tagged with the island index; regular cell events
+// carry Island == -1.
+func TestIslandProgressEvents(t *testing.T) {
+	var events []ProgressEvent
+	lab, err := New(WithIslands(2), WithProgress(func(ev ProgressEvent) {
+		events = append(events, ev)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := compatBenchmark(t)
+	if _, err := lab.Place(context.Background(), b.Sequences[0], quickPlaceOptions(GA)); err != nil {
+		t.Fatal(err)
+	}
+	island, regular := 0, 0
+	for _, ev := range events {
+		if ev.Island >= 0 {
+			island++
+			if ev.Generation <= 0 {
+				t.Fatalf("island event without generation: %+v", ev)
+			}
+		} else {
+			regular++
+		}
+	}
+	if island == 0 {
+		t.Fatal("no island progress events from an island-model run")
+	}
+	if regular == 0 {
+		t.Fatal("cell start/done events missing")
+	}
+}
+
+// A deadline interrupts a GA placement between generations: the call
+// returns promptly with the context error rather than running the full
+// budget.
+func TestPlaceGADeadline(t *testing.T) {
+	lab, err := New(WithIslands(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := compatBenchmark(t)
+	opts := quickPlaceOptions(GA)
+	opts.GA.Generations = 1 << 30
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = lab.Place(ctx, b.Sequences[0], opts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline ignored for %v", elapsed)
+	}
+}

@@ -202,6 +202,10 @@ type PlaceOptions struct {
 	// exact multi-port nearest-port model, matching what Simulate
 	// replays on a PortsPerTrack > 1 device.
 	Ports int
+	// Portfolio lists the strategies Lab.PlacePortfolio races, in
+	// deterministic tie-break order. Empty means every strategy of the
+	// Lab's registry. Ignored by the single-strategy methods.
+	Portfolio []Strategy
 }
 
 // options lowers PlaceOptions to the per-strategy knobs. The port
@@ -210,6 +214,10 @@ type PlaceOptions struct {
 func (o PlaceOptions) options() StrategyOptions {
 	return StrategyOptions{Capacity: o.Capacity, GA: o.GA, RW: o.RW, Ports: o.Ports}
 }
+
+// PortfolioEntry is one strategy's outcome in a finished portfolio race
+// (see Lab.PlacePortfolio).
+type PortfolioEntry = placement.PortfolioEntry
 
 // PlaceResult is the outcome of a placement run.
 type PlaceResult struct {
