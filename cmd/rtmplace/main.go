@@ -8,10 +8,16 @@
 //	rtmplace -strategy GA -timeout 30s trace.txt
 //	rtmplace -strategy GA -islands 4 trace.txt
 //	rtmplace -portfolio trace.txt
+//	rtmplace -format bin -stream -window 262144 trace.rtb
 //
 // The trace format is whitespace-separated variable names, "!" suffix for
 // writes, optionally split into multiple sequences with "seq <name>"
-// lines (each sequence is placed independently).
+// lines (each sequence is placed independently). -format addr reads raw
+// R/W address records and -format bin reads the compact binary format
+// (produce it with rtmtrace). With -stream the trace is never loaded:
+// each sequence is placed window by window in bounded memory through
+// Lab.PlaceStream, reporting the stitched shift cost (-stream requires
+// -format bin and skips the Table I device simulation).
 //
 // rtmplace is written entirely against the public racetrack.Lab session
 // API: it builds one Lab, places the benchmark through it and simulates
@@ -38,7 +44,9 @@ func main() {
 		dbcs       = flag.Int("dbcs", 4, "number of DBCs (2, 4, 8 or 16 for Table I energy numbers)")
 		ports      = flag.Int("ports", 1, "access ports per track; >1 optimizes and simulates under the multi-port cost model")
 		capacity   = flag.Int("capacity", 0, "per-DBC capacity in words (0 = unlimited)")
-		format     = flag.String("format", "vars", "trace format: 'vars' (named variables) or 'addr' (raw R/W address records)")
+		format     = flag.String("format", "vars", "trace format: 'vars' (named variables), 'addr' (raw R/W address records) or 'bin' (compact binary)")
+		stream     = flag.Bool("stream", false, "place out-of-core: scan the trace window by window in bounded memory (requires -format bin)")
+		window     = flag.Int("window", 0, "accesses per placement window for -stream (0 = default)")
 		wordSize   = flag.Int("word-bytes", 4, "word granularity for -format addr")
 		gaGens     = flag.Int("ga-generations", 200, "GA generations (strategy GA)")
 		gaMu       = flag.Int("ga-mu", 100, "GA population size (strategy GA)")
@@ -68,8 +76,8 @@ func main() {
 		path: flag.Arg(0), strategy: *strategy, format: *format,
 		wordBytes: *wordSize, dbcs: *dbcs, ports: *ports, capacity: *capacity,
 		gaGens: *gaGens, gaMu: *gaMu, islands: *islands, rwIters: *rwIters,
-		portfolio: *portfolio,
-		workers:   *workers, seed: *seed, timeout: *timeout, verbose: *verbose,
+		portfolio: *portfolio, stream: *stream, window: *window,
+		workers: *workers, seed: *seed, timeout: *timeout, verbose: *verbose,
 	}
 	if err := run(cfg); err != nil {
 		stopProfiles()
@@ -101,11 +109,32 @@ type runConfig struct {
 	gaMu      int
 	islands   int
 	portfolio bool
+	stream    bool
+	window    int
 	rwIters   int
 	workers   int
 	seed      int64
 	timeout   time.Duration
 	verbose   bool
+}
+
+// placeOptions translates the flag values into PlaceOptions, shared by
+// the in-RAM and streaming paths.
+func (cfg runConfig) placeOptions() racetrack.PlaceOptions {
+	ga := racetrack.DefaultGAConfig()
+	ga.Generations = cfg.gaGens
+	ga.Mu, ga.Lambda = cfg.gaMu, cfg.gaMu
+	ga.Seed = cfg.seed
+	ga.Islands = cfg.islands
+	return racetrack.PlaceOptions{
+		Strategy: racetrack.Strategy(cfg.strategy),
+		DBCs:     cfg.dbcs,
+		Capacity: cfg.capacity,
+		GA:       ga,
+		RW:       racetrack.RWConfig{Iterations: cfg.rwIters, Seed: cfg.seed},
+		Ports:    cfg.ports,
+		Window:   cfg.window,
+	}
 }
 
 func run(cfg runConfig) error {
@@ -114,6 +143,16 @@ func run(cfg runConfig) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
+	}
+
+	if cfg.stream {
+		switch {
+		case cfg.format != "bin":
+			return fmt.Errorf("-stream requires -format bin (convert the trace with rtmtrace first)")
+		case cfg.portfolio:
+			return fmt.Errorf("-stream races one strategy per window; it cannot be combined with -portfolio")
+		}
+		return runStream(ctx, cfg)
 	}
 
 	var r io.Reader
@@ -143,8 +182,14 @@ func run(cfg runConfig) error {
 			return err
 		}
 		b = &racetrack.Benchmark{Name: name, Sequences: []*racetrack.Sequence{s}}
+	case "bin":
+		var err error
+		b, err = racetrack.ReadBinaryBenchmark(name, r)
+		if err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("unknown -format %q (want 'vars' or 'addr')", cfg.format)
+		return fmt.Errorf("unknown -format %q (want 'vars', 'addr' or 'bin')", cfg.format)
 	}
 	if len(b.Sequences) == 0 {
 		return fmt.Errorf("no access sequences in %s", name)
@@ -159,19 +204,7 @@ func run(cfg runConfig) error {
 		return err
 	}
 
-	ga := racetrack.DefaultGAConfig()
-	ga.Generations = cfg.gaGens
-	ga.Mu, ga.Lambda = cfg.gaMu, cfg.gaMu
-	ga.Seed = cfg.seed
-	ga.Islands = cfg.islands
-	opts := racetrack.PlaceOptions{
-		Strategy: racetrack.Strategy(cfg.strategy),
-		DBCs:     cfg.dbcs,
-		Capacity: cfg.capacity,
-		GA:       ga,
-		RW:       racetrack.RWConfig{Iterations: cfg.rwIters, Seed: cfg.seed},
-		Ports:    cfg.ports,
-	}
+	opts := cfg.placeOptions()
 
 	// The placements per sequence, in input order, for the simulation
 	// below — filled by either the single-strategy or the portfolio path.
@@ -247,5 +280,62 @@ func run(cfg runConfig) error {
 	fmt.Printf("latency: %.1f ns   energy: %.1f pJ (leakage %.1f / read-write %.1f / shift %.1f)\n",
 		agg.LatencyNS, agg.Energy.TotalPJ(),
 		agg.Energy.LeakagePJ, agg.Energy.ReadWritePJ, agg.Energy.ShiftPJ)
+	return nil
+}
+
+// runStream is the out-of-core path: the binary trace is scanned
+// sequence by sequence and each sequence is placed window by window
+// through Lab.PlaceStream, so memory stays O(window) no matter how long
+// the trace is. Shift cost only — the Table I simulation replays
+// materialized placements, which a streamed run never holds.
+func runStream(ctx context.Context, cfg runConfig) error {
+	var br *racetrack.BinaryTraceReader
+	name := cfg.path
+	if cfg.path == "-" {
+		name = "stdin"
+		var err error
+		br, err = racetrack.NewBinaryTraceReader(os.Stdin)
+		if err != nil {
+			return err
+		}
+	} else {
+		bf, err := racetrack.OpenBinaryTrace(cfg.path)
+		if err != nil {
+			return err
+		}
+		defer bf.Close()
+		br = bf.Reader()
+	}
+
+	lab, err := racetrack.New()
+	if err != nil {
+		return err
+	}
+	opts := cfg.placeOptions()
+	window := opts.Window
+	if window <= 0 {
+		window = racetrack.StreamWindow
+	}
+	fmt.Printf("%s: %d sequence(s), strategy %s, %d DBCs, streaming (window %d)\n",
+		name, br.SeqCount(), opts.Strategy, cfg.dbcs, window)
+
+	var total int64
+	for i := 0; ; i++ {
+		sc, err := br.ScanSequence()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		res, err := lab.PlaceStream(ctx, sc.NumVars(), sc, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  seq %d: %d accesses, %d variables -> %d shifts (%d windows, %d migration shifts, peak window %d vars)\n",
+			i, res.Accesses, sc.NumVars(), res.Shifts, res.Windows, res.MigrationShifts, res.MaxWindowVars)
+		total += res.Shifts
+	}
+	fmt.Printf("total shifts: %d\n", total)
 	return nil
 }

@@ -69,6 +69,13 @@ func FuzzKernelParity(f *testing.F) {
 		if got != want {
 			t.Fatalf("kernel %d, replay %d\nseq: %v\nplacement: %v", got, want, s, p)
 		}
+		ks, err := NewCostKernelStream(s.NumVars(), trace.NewSliceReader(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sgot, err := ks.Evaluate(p); err != nil || sgot != want {
+			t.Fatalf("stream kernel %d (err %v), replay %d\nseq: %v\nplacement: %v", sgot, err, want, s, p)
+		}
 		for _, d := range p.DBC {
 			if len(d) == 0 {
 				continue

@@ -2,6 +2,7 @@ package placement
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -123,6 +124,41 @@ func NewCostKernel(s *trace.Sequence) *CostKernel {
 	return buildCostKernel(s, -1)
 }
 
+// NewCostKernelStream builds a kernel from an access stream without ever
+// materializing the sequence: the construction pass is inherently
+// single-pass (the recency list and stencil dedup only look backwards),
+// so its working set is the stencil table plus O(numVars) bookkeeping —
+// for loop-structured traces, proportional to the distinct variables and
+// window shapes, not the stream length (see DESIGN.md §12). The reader
+// is drained to io.EOF; any other reader error aborts the build.
+//
+// A streamed kernel has no bound sequence: Sequence returns nil, Rebind
+// always returns nil, and Breakdown reports unplaced variables by index.
+// Cost, CostBounded, CostDBC, Evaluate and NewDeltaEvaluatorFromKernel
+// are exactly as for NewCostKernel — the two constructions are
+// bit-identical on equal streams (TestStreamKernelParity).
+func NewCostKernelStream(numVars int, r trace.AccessReader) (*CostKernel, error) {
+	if numVars < 0 {
+		return nil, fmt.Errorf("placement: stream kernel: negative numVars %d", numVars)
+	}
+	b := newKernelBuilder(numVars, -1)
+	for {
+		a, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("placement: stream kernel: reading access %d: %w", b.k.accesses, err)
+		}
+		if a.Var < 0 || a.Var >= numVars {
+			return nil, fmt.Errorf("placement: stream kernel: access %d to variable %d outside universe [0,%d)",
+				b.k.accesses, a.Var, numVars)
+		}
+		b.add(a)
+	}
+	return b.finish(), nil
+}
+
 // buildCostKernel is NewCostKernel with an optional candidate budget
 // (candBudget < 0 means unlimited): once the table's candidate total
 // exceeds the budget the build aborts and returns nil. Callers that
@@ -130,26 +166,30 @@ func NewCostKernel(s *trace.Sequence) *CostKernel {
 // the stream (RandomWalk without a batch-shared kernel) use the budget
 // to cap the wasted build at the replay path's own cost.
 func buildCostKernel(s *trace.Sequence, candBudget int) *CostKernel {
-	n := s.NumVars()
-	k := &CostKernel{
-		seq:      s,
-		numVars:  n,
-		accesses: len(s.Accesses),
-		start:    make([]int, 1),
-		accCnt:   make([]int64, n),
-		seeds:    &seedMemo{},
+	b := newKernelBuilder(s.NumVars(), candBudget)
+	for _, a := range s.Accesses {
+		if !b.add(a) {
+			return nil // table denser than the caller will use
+		}
 	}
-	if n == 0 || len(s.Accesses) == 0 {
-		k.layoutVarMajor()
-		return k
-	}
+	k := b.finish()
+	k.seq = s
+	return k
+}
+
+// kernelBuilder is the incremental core of kernel construction: add
+// consumes one access at a time, finish lays the table out. Both the
+// in-RAM and the streaming constructors drive it, so the two paths
+// cannot diverge.
+type kernelBuilder struct {
+	k          *CostKernel
+	candBudget int
 
 	// Doubly linked recency list over the distinct variables seen so far;
 	// head is the most recently accessed.
-	prev := make([]int32, n)
-	next := make([]int32, n)
-	seen := make([]bool, n)
-	head := int32(-1)
+	prev, next []int32
+	seen       []bool
+	head       int32
 
 	// Dedup machinery. The fast path exploits access locality: a loop
 	// iteration reproduces the previous iteration's window exactly, so
@@ -157,89 +197,119 @@ func buildCostKernel(s *trace.Sequence, candBudget int) *CostKernel {
 	// against it in place — steady-state loops never touch the hash
 	// table. Novel windows go through an FNV-hashed index with explicit
 	// collision verification.
-	lastSten := make([]int32, n)
-	for i := range lastSten {
-		lastSten[i] = -1
+	lastSten []int32
+	index    map[uint64][]int32 // window hash -> candidate rows
+	win      []int32            // current access's candidate window
+}
+
+func newKernelBuilder(numVars, candBudget int) *kernelBuilder {
+	b := &kernelBuilder{
+		k: &CostKernel{
+			numVars: numVars,
+			start:   make([]int, 1),
+			accCnt:  make([]int64, numVars),
+			seeds:   &seedMemo{},
+		},
+		candBudget: candBudget,
+		prev:       make([]int32, numVars),
+		next:       make([]int32, numVars),
+		seen:       make([]bool, numVars),
+		head:       -1,
+		lastSten:   make([]int32, numVars),
+		index:      make(map[uint64][]int32),
+		win:        make([]int32, 0, 64),
 	}
-	index := make(map[uint64][]int32) // window hash -> candidate rows
-	win := make([]int32, 0, 64)       // current access's candidate window
+	for i := range b.lastSten {
+		b.lastSten[i] = -1
+	}
+	return b
+}
 
-	for _, a := range s.Accesses {
-		v := int32(a.Var)
-		k.accCnt[v]++
-		// Candidates: recency-list prefix strictly newer than v's own
-		// previous access. For a first access the walk covers the whole
-		// list (every distinct variable so far is a candidate). The walk
-		// doubles as the comparison against v's previous stencil.
-		ls := lastSten[v]
-		same := ls >= 0
-		var lo, hi int
-		if same {
-			lo, hi = k.start[ls], k.start[ls+1]
+// add folds one access into the table. It returns false only when the
+// candidate budget is exhausted; the builder must then be discarded.
+func (b *kernelBuilder) add(a trace.Access) bool {
+	k := b.k
+	v := int32(a.Var)
+	k.accesses++
+	k.accCnt[v]++
+	// Candidates: recency-list prefix strictly newer than v's own
+	// previous access. For a first access the walk covers the whole
+	// list (every distinct variable so far is a candidate). The walk
+	// doubles as the comparison against v's previous stencil.
+	ls := b.lastSten[v]
+	same := ls >= 0
+	var lo, hi int
+	if same {
+		lo, hi = k.start[ls], k.start[ls+1]
+	}
+	win := b.win[:0]
+	for u := b.head; u >= 0 && u != v; u = b.next[u] {
+		if same && (lo >= hi || k.cand[lo] != u) {
+			same = false
 		}
-		win = win[:0]
-		for u := head; u >= 0 && u != v; u = next[u] {
-			if same && (lo >= hi || k.cand[lo] != u) {
-				same = false
-			}
-			lo++
-			win = append(win, u)
+		lo++
+		win = append(win, u)
+	}
+	b.win = win
+	switch {
+	case same && lo == hi:
+		k.wgt[ls]++
+	default:
+		h := uint64(14695981039346656037)
+		h = (h ^ uint64(uint32(v))) * 1099511628211
+		for _, u := range win {
+			h = (h ^ uint64(uint32(u))) * 1099511628211
 		}
-		switch {
-		case same && lo == hi:
-			k.wgt[ls]++
-		default:
-			h := uint64(14695981039346656037)
-			h = (h ^ uint64(uint32(v))) * 1099511628211
-			for _, u := range win {
-				h = (h ^ uint64(uint32(u))) * 1099511628211
-			}
-			row := int32(-1)
-			for _, r := range index[h] {
-				if k.tvar[r] == v && k.sameWindow(r, win) {
-					row = r
-					break
-				}
-			}
-			if row >= 0 {
-				k.wgt[row]++
-			} else {
-				row = int32(len(k.tvar))
-				index[h] = append(index[h], row)
-				k.tvar = append(k.tvar, v)
-				k.wgt = append(k.wgt, 1)
-				k.cand = append(k.cand, win...)
-				k.start = append(k.start, len(k.cand))
-				if candBudget >= 0 && len(k.cand) > candBudget {
-					return nil // table denser than the caller will use
-				}
-			}
-			lastSten[v] = row
-		}
-
-		// Move v to the front of the recency list.
-		if seen[v] {
-			p, nx := prev[v], next[v]
-			if p >= 0 {
-				next[p] = nx
-			} else {
-				head = nx
-			}
-			if nx >= 0 {
-				prev[nx] = p
+		row := int32(-1)
+		for _, r := range b.index[h] {
+			if k.tvar[r] == v && k.sameWindow(r, win) {
+				row = r
+				break
 			}
 		}
-		seen[v] = true
-		next[v] = head
-		prev[v] = -1
-		if head >= 0 {
-			prev[head] = v
+		if row >= 0 {
+			k.wgt[row]++
+		} else {
+			row = int32(len(k.tvar))
+			b.index[h] = append(b.index[h], row)
+			k.tvar = append(k.tvar, v)
+			k.wgt = append(k.wgt, 1)
+			k.cand = append(k.cand, win...)
+			k.start = append(k.start, len(k.cand))
+			if b.candBudget >= 0 && len(k.cand) > b.candBudget {
+				return false
+			}
 		}
-		head = v
+		b.lastSten[v] = row
 	}
 
-	k.layoutVarMajor()
-	return k
+	// Move v to the front of the recency list.
+	if b.seen[v] {
+		p, nx := b.prev[v], b.next[v]
+		if p >= 0 {
+			b.next[p] = nx
+		} else {
+			b.head = nx
+		}
+		if nx >= 0 {
+			b.prev[nx] = p
+		}
+	}
+	b.seen[v] = true
+	b.next[v] = b.head
+	b.prev[v] = -1
+	if b.head >= 0 {
+		b.prev[b.head] = v
+	}
+	b.head = v
+	return true
+}
+
+// finish lays the accumulated table out var-major and returns the
+// kernel. The builder must not be reused afterwards.
+func (b *kernelBuilder) finish() *CostKernel {
+	b.k.layoutVarMajor()
+	return b.k
 }
 
 // layoutVarMajor permutes the stencil table into the var-major,
@@ -298,10 +368,19 @@ func (k *CostKernel) sameWindow(r int32, win []int32) bool {
 	return true
 }
 
-// Sequence returns the sequence this kernel summarizes. Callers sharing
+// Sequence returns the sequence this kernel summarizes, or nil for a
+// kernel built from a stream (NewCostKernelStream). Callers sharing
 // kernels (Options.Kernel, GAConfig.Kernel) key on pointer identity: a
 // kernel is only ever applied to the exact sequence it was built from.
 func (k *CostKernel) Sequence() *trace.Sequence { return k.seq }
+
+// varName renders v for diagnostics; streamed kernels have no name table.
+func (k *CostKernel) varName(v int) string {
+	if k.seq != nil {
+		return k.seq.Name(v)
+	}
+	return fmt.Sprintf("v%d", v)
+}
 
 // NumVars returns the size of the variable universe the kernel covers.
 func (k *CostKernel) NumVars() int { return k.numVars }
@@ -431,7 +510,7 @@ func (k *CostKernel) Breakdown(p *Placement) (*CostBreakdown, error) {
 		}
 		d := l.DBCOf[v]
 		if d < 0 || d >= q {
-			return nil, fmt.Errorf("placement: accesses to unplaced variable %s", k.seq.Name(v))
+			return nil, fmt.Errorf("placement: accesses to unplaced variable %s", k.varName(v))
 		}
 		b.Accesses[d] += k.accCnt[v]
 		c := k.varCost(l.DBCOf, l.Offset, v, d)
@@ -455,7 +534,9 @@ func (k *CostKernel) Rebind(s *trace.Sequence) *CostKernel {
 	if k.seq == s {
 		return k
 	}
-	if !k.seq.ContentEqual(s) {
+	if k.seq == nil || !k.seq.ContentEqual(s) {
+		// Streamed kernels (seq == nil) cannot prove content equality:
+		// the stream is gone. Callers must build afresh.
 		return nil
 	}
 	return &CostKernel{

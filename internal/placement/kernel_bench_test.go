@@ -80,6 +80,34 @@ func BenchmarkKernelBuild(b *testing.B) {
 	b.SetBytes(int64(s.Len()))
 }
 
+// BenchmarkStreamingKernel measures out-of-core kernel construction:
+// one pass over a synthetic loop-structured generator stream (the trace
+// is never materialized), the path the CI bigtrace job runs under a
+// memory ceiling. SetBytes is the stream length, so MB/s reads as
+// accesses/µs.
+func BenchmarkStreamingKernel(b *testing.B) {
+	cfg := trace.SynthConfig{Vars: 2048, Accesses: 1 << 20, Seed: 13}
+	b.SetBytes(cfg.Accesses)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var k *CostKernel
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewSynthReader(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k, err = NewCostKernelStream(r.NumVars(), r)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if k.NNZ() == 0 || k.Accesses() != int(cfg.Accesses) {
+		b.Fatalf("bad kernel %v", k)
+	}
+	b.ReportMetric(float64(k.NNZ()), "nnz")
+}
+
 // BenchmarkDeltaSetupFromKernel measures deriving a DBC's incremental
 // evaluator from a shared kernel, the O(nnz) replacement for the O(m)
 // replay setup the memetic GA mutation used to pay per call.

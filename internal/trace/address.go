@@ -2,10 +2,10 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
+	"math"
 )
 
 // Address-trace support: raw memory traces, as produced by binary
@@ -44,23 +44,29 @@ func ParseAddressTrace(r io.Reader, wordBytes int) (*Sequence, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if i := strings.Index(line, "#"); i >= 0 {
-			line = strings.TrimSpace(line[:i])
+		// Tokenize in place from the scanner's buffer: address traces run
+		// to hundreds of millions of lines, so per-line []string splits
+		// are the dominant allocation cost.
+		line := bytes.TrimSpace(sc.Bytes())
+		if i := bytes.IndexByte(line, '#'); i >= 0 {
+			line = bytes.TrimSpace(line[:i])
 		}
-		if line == "" {
+		if len(line) == 0 {
 			continue
 		}
-		fields := strings.Fields(line)
+		first, rest := nextField(line)
+		second, tail := nextField(rest)
 		write := false
-		addrTok := fields[0]
+		addrTok := first
 		switch {
-		case len(fields) == 2 && (fields[0] == "R" || fields[0] == "r"):
-			addrTok = fields[1]
-		case len(fields) == 2 && (fields[0] == "W" || fields[0] == "w"):
+		case len(second) > 0 && len(bytes.TrimSpace(tail)) == 0 &&
+			len(first) == 1 && (first[0] == 'R' || first[0] == 'r'):
+			addrTok = second
+		case len(second) > 0 && len(bytes.TrimSpace(tail)) == 0 &&
+			len(first) == 1 && (first[0] == 'W' || first[0] == 'w'):
 			write = true
-			addrTok = fields[1]
-		case len(fields) == 1:
+			addrTok = second
+		case len(second) == 0:
 		default:
 			return nil, &AddressTraceError{Line: lineNo, Msg: fmt.Sprintf("unrecognized record %q", line)}
 		}
@@ -84,16 +90,39 @@ func ParseAddressTrace(r io.Reader, wordBytes int) (*Sequence, error) {
 	return s, nil
 }
 
-func parseAddr(tok string) (uint64, error) {
-	base := 10
+// parseAddr decodes a decimal or 0x-prefixed hex address without
+// allocating (strconv would need a string copy of the scanner's bytes).
+// Overflow past uint64 is rejected, matching strconv.ParseUint.
+func parseAddr(tok []byte) (uint64, error) {
+	base := uint64(10)
 	t := tok
-	if strings.HasPrefix(tok, "0x") || strings.HasPrefix(tok, "0X") {
+	if len(tok) > 2 && tok[0] == '0' && (tok[1] == 'x' || tok[1] == 'X') {
 		base = 16
 		t = tok[2:]
 	}
-	v, err := strconv.ParseUint(t, base, 64)
-	if err != nil {
+	if len(t) == 0 {
 		return 0, fmt.Errorf("bad address %q", tok)
+	}
+	var v uint64
+	for _, c := range t {
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad address %q", tok)
+		}
+		if d >= base {
+			return 0, fmt.Errorf("bad address %q", tok)
+		}
+		if v > (math.MaxUint64-d)/base {
+			return 0, fmt.Errorf("bad address %q", tok)
+		}
+		v = v*base + d
 	}
 	return v, nil
 }

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Parser and scanner benchmarks. These sit under the CI bench gate's
+// alloc floor: the text parsers must stay at one name-copy per distinct
+// variable (not per token), and the binary scan must decode without
+// per-access allocation.
+
+func synthText(b *testing.B) string {
+	b.Helper()
+	s, err := SynthConfig{Vars: 200, Accesses: 50000, Seed: 9}.Sequence()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, &Benchmark{Name: "bench", Sequences: []*Sequence{s}}); err != nil {
+		b.Fatal(err)
+	}
+	return sb.String()
+}
+
+func BenchmarkParseText(b *testing.B) {
+	text := synthText(b)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("bench", strings.NewReader(text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseAddressTrace(b *testing.B) {
+	s, err := SynthConfig{Vars: 200, Accesses: 50000, Seed: 10}.Sequence()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, a := range s.Accesses {
+		if a.Write {
+			fmt.Fprintf(&sb, "W 0x%x\n", uint64(a.Var)*4)
+		} else {
+			fmt.Fprintf(&sb, "R 0x%x\n", uint64(a.Var)*4)
+		}
+	}
+	text := sb.String()
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAddressTrace(strings.NewReader(text), 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryScan(b *testing.B) {
+	s, err := SynthConfig{Vars: 500, Accesses: 200000, Seed: 11}.Sequence()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, &Benchmark{Name: "bench", Sequences: []*Sequence{s}}); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br, err := NewBinReader(bytes.NewReader(enc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc, err := br.ScanSequence()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := sc.Next(); err != nil {
+				if err == io.EOF {
+					break
+				}
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != s.Len() {
+			b.Fatalf("scanned %d accesses, want %d", n, s.Len())
+		}
+	}
+}

@@ -1,0 +1,34 @@
+//go:build linux
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. Returns ok == false (falling back
+// to chunked buffered reads) for empty files or when the kernel
+// declines the mapping; the scanning API behaves identically either
+// way. MADV_SEQUENTIAL tells the kernel the scanner's access pattern so
+// read-ahead stays aggressive and cold pages are reclaimed behind the
+// scan — the property the bounded-memory CI ceiling relies on.
+func mmapFile(f *os.File) ([]byte, bool) {
+	fi, err := f.Stat()
+	if err != nil || fi.Size() <= 0 || int64(int(fi.Size())) != fi.Size() {
+		return nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	_ = madviseSequential(data)
+	return data, true
+}
+
+func madviseSequential(data []byte) error {
+	return syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+}
+
+// munmapFile releases a mapping produced by mmapFile.
+func munmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package trace
+
+import "os"
+
+// mmapFile on platforms without a wired-up mmap backend: always decline,
+// so OpenBin falls back to chunked buffered reads (equally streaming,
+// just through the Go heap's read buffer instead of the page cache).
+func mmapFile(*os.File) ([]byte, bool) { return nil, false }
+
+// munmapFile is never reached when mmapFile declines.
+func munmapFile([]byte) error { return nil }

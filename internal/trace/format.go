@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -57,61 +58,93 @@ func (b *Benchmark) MaxLen() int {
 
 // Parse reads a benchmark in the text format. Accesses that appear before
 // any "seq" directive form an implicit first sequence.
+//
+// The parse is streaming at the token level: lines are tokenized in
+// place from the scanner's byte buffer and accesses appended as they
+// are seen, so the only per-token allocation is the one string copy
+// each *new* variable name costs. (The decoded benchmark is still an
+// in-RAM structure — the out-of-core path is the binary format of
+// binfmt.go.)
 func Parse(name string, r io.Reader) (*Benchmark, error) {
 	b := &Benchmark{Name: name}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 
-	var cur []string
-	curName := ""
-	lineNo := 0
-	flush := func() error {
-		if cur == nil {
-			return nil
+	var cur *Sequence
+	var index map[string]int
+	begin := func() {
+		cur = &Sequence{}
+		index = make(map[string]int)
+	}
+	flush := func() {
+		if cur != nil {
+			cur.refresh()
+			b.Sequences = append(b.Sequences, cur)
+			cur = nil
 		}
-		s, err := NewNamedSequence(cur...)
-		if err != nil {
-			return err
-		}
-		if curName == "" {
-			curName = fmt.Sprintf("seq%d", len(b.Sequences))
-		}
-		_ = curName // sequence names are informational only
-		b.Sequences = append(b.Sequences, s)
-		cur = nil
-		curName = ""
-		return nil
 	}
 
+	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		fields := strings.Fields(line)
-		if fields[0] == "seq" {
-			if err := flush(); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			cur = []string{}
-			if len(fields) > 1 {
-				curName = fields[1]
-			}
-			continue
+		tok, rest := nextField(line)
+		if string(tok) == "seq" {
+			flush()
+			begin()
+			continue // the optional sequence name is informational only
 		}
 		if cur == nil {
-			cur = []string{}
+			begin()
 		}
-		cur = append(cur, fields...)
+		for len(tok) > 0 {
+			write := false
+			vn := tok
+			if vn[len(vn)-1] == '!' {
+				write = true
+				vn = vn[:len(vn)-1]
+			}
+			if len(vn) == 0 {
+				return nil, fmt.Errorf("trace: line %d: empty variable name in token %q", lineNo, tok)
+			}
+			id, ok := index[string(vn)] // no allocation: map lookup by []byte key
+			if !ok {
+				id = len(cur.Names)
+				nm := string(vn)
+				index[nm] = id
+				cur.Names = append(cur.Names, nm)
+			}
+			cur.Accesses = append(cur.Accesses, Access{Var: id, Write: write})
+			tok, rest = nextField(rest)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: reading %s: %w", name, err)
 	}
-	if err := flush(); err != nil {
-		return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-	}
+	flush()
 	return b, nil
+}
+
+// nextField splits the first whitespace-separated field off line,
+// returning the field and the remainder — the zero-allocation core both
+// text parsers tokenize through.
+func nextField(line []byte) (field, rest []byte) {
+	i := 0
+	for i < len(line) && asciiSpace(line[i]) {
+		i++
+	}
+	j := i
+	for j < len(line) && !asciiSpace(line[j]) {
+		j++
+	}
+	return line[i:j], line[j:]
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f'
 }
 
 // Write renders the benchmark in the text format accepted by Parse.

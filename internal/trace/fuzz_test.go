@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -41,6 +43,102 @@ func FuzzParse(f *testing.F) {
 		for i := range b.Sequences {
 			if b2.Sequences[i].Len() != b.Sequences[i].Len() {
 				t.Fatalf("round trip changed seq %d length", i)
+			}
+		}
+	})
+}
+
+// FuzzBinfmtRoundTrip pins the binary format from both directions: any
+// text-parseable trace must survive text → binary → scan bit-identically
+// to the eager parse, and arbitrary bytes presented as a binary trace —
+// including single-byte corruptions of a valid encoding — must be
+// rejected or decoded consistently, never panic.
+func FuzzBinfmtRoundTrip(f *testing.F) {
+	f.Add("a b a b c\n", []byte("RTBF"), 0)
+	f.Add("seq f\nx y! z\nseq g\np p q\n", []byte{}, 3)
+	f.Add("v0 v1 v0 v0! v2\n", []byte("RTBF\x01\x00\x01\x02\x03"), 7)
+	f.Fuzz(func(t *testing.T, text string, raw []byte, flip int) {
+		// Arbitrary bytes as binary input: must never panic; anything
+		// accepted must be internally consistent.
+		if b, err := ReadBinary("raw", bytes.NewReader(raw)); err == nil {
+			for i, s := range b.Sequences {
+				if verr := s.Validate(); verr != nil {
+					t.Fatalf("raw decode seq %d inconsistent: %v", i, verr)
+				}
+			}
+		}
+
+		b, err := ParseString("fuzz", text)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, b); err != nil {
+			t.Fatalf("encode of parsed trace failed: %v", err)
+		}
+		enc := buf.Bytes()
+
+		// Streaming scan must equal the eager parse access for access,
+		// with the trailer fingerprint matching the content hash.
+		br, err := NewBinReader(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		for i, want := range b.Sequences {
+			sc, err := br.ScanSequence()
+			if err != nil {
+				t.Fatalf("seq %d: %v", i, err)
+			}
+			if sc.NumVars() != want.NumVars() {
+				t.Fatalf("seq %d universe %d, want %d", i, sc.NumVars(), want.NumVars())
+			}
+			for j := 0; ; j++ {
+				a, err := sc.Next()
+				if err == io.EOF {
+					if j != want.Len() {
+						t.Fatalf("seq %d ended at %d of %d", i, j, want.Len())
+					}
+					break
+				}
+				if err != nil {
+					t.Fatalf("seq %d access %d: %v", i, j, err)
+				}
+				if a != want.Accesses[j] {
+					t.Fatalf("seq %d access %d = %v, want %v", i, j, a, want.Accesses[j])
+				}
+			}
+			if sc.Fingerprint() != want.Fingerprint() {
+				t.Fatalf("seq %d fingerprint mismatch", i)
+			}
+		}
+
+		// A single corrupted byte must never panic, and must never be
+		// accepted as a different consistent trace without tripping
+		// either a structural error or the fingerprint.
+		if len(enc) > 0 {
+			mut := append([]byte(nil), enc...)
+			i := flip % len(mut)
+			if i < 0 {
+				i += len(mut)
+			}
+			mut[i] ^= 0x41
+			if got, err := ReadBinary("mut", bytes.NewReader(mut)); err == nil {
+				for j, s := range got.Sequences {
+					if verr := s.Validate(); verr != nil {
+						t.Fatalf("corrupt decode seq %d inconsistent: %v", j, verr)
+					}
+				}
+			}
+		}
+
+		// Truncations must be rejected.
+		if len(enc) > 1 {
+			cut := flip % len(enc)
+			if cut < 0 {
+				cut += len(enc)
+			}
+			if _, err := ReadBinary("trunc", bytes.NewReader(enc[:cut])); err == nil {
+				t.Fatalf("truncation at %d of %d accepted", cut, len(enc))
 			}
 		}
 	})

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Synthetic large-trace generation. CI and the benchmarks need
+// 10⁷–10⁸-access streams to exercise the out-of-core pipeline, far too
+// big to commit as files; SynthReader generates them on the fly — a
+// seeded, deterministic AccessReader in O(loop body) memory — so a
+// 256 MiB memory ceiling can be asserted over a multi-gigabyte-
+// equivalent trace.
+//
+// The generated traffic is loop-structured, like the program traces the
+// placement problem comes from: execution alternates between loop
+// kernels (a short body of distinct variables repeated many times) and
+// scattered cold accesses, with variable popularity Zipf-distributed so
+// a small hot set dominates. Loop structure is also what makes the
+// streaming kernel construction's working set proportional to distinct
+// variables rather than accesses: each loop iteration reproduces the
+// previous iteration's transition stencils, which deduplicate into
+// multiplicity bumps (see DESIGN.md §12).
+
+// SynthConfig parameterizes a synthetic stream. The zero value of every
+// tuning field selects a sensible default; Vars and Accesses are
+// required.
+type SynthConfig struct {
+	// Vars is the variable universe size.
+	Vars int
+	// Accesses is the exact stream length.
+	Accesses int64
+	// Seed drives the deterministic PRNG: equal configs generate
+	// bit-identical streams.
+	Seed int64
+	// ZipfS is the Zipf skew of variable popularity (> 1; default 1.3).
+	ZipfS float64
+	// LoopMin/LoopMax bound the loop-body length in distinct variables
+	// (defaults 4 and 48).
+	LoopMin, LoopMax int
+	// RepMin/RepMax bound the iteration count per loop (defaults 8 and 96).
+	RepMin, RepMax int
+	// WriteFraction is the probability an access is a store (default 0.25).
+	WriteFraction float64
+	// ScatterLen is the number of scattered single accesses emitted
+	// between loops (default 4).
+	ScatterLen int
+}
+
+// norm fills defaults and validates.
+func (c SynthConfig) norm() (SynthConfig, error) {
+	if c.Vars < 1 {
+		return c, fmt.Errorf("trace: synth: Vars must be >= 1, got %d", c.Vars)
+	}
+	if c.Accesses < 0 {
+		return c, fmt.Errorf("trace: synth: Accesses must be >= 0, got %d", c.Accesses)
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.3
+	}
+	if c.ZipfS <= 1 {
+		return c, fmt.Errorf("trace: synth: ZipfS must be > 1, got %v", c.ZipfS)
+	}
+	if c.LoopMin == 0 {
+		c.LoopMin = 4
+	}
+	if c.LoopMax == 0 {
+		c.LoopMax = 48
+	}
+	if c.LoopMin < 1 || c.LoopMax < c.LoopMin {
+		return c, fmt.Errorf("trace: synth: bad loop-body bounds [%d,%d]", c.LoopMin, c.LoopMax)
+	}
+	if c.RepMin == 0 {
+		c.RepMin = 8
+	}
+	if c.RepMax == 0 {
+		c.RepMax = 96
+	}
+	if c.RepMin < 1 || c.RepMax < c.RepMin {
+		return c, fmt.Errorf("trace: synth: bad repetition bounds [%d,%d]", c.RepMin, c.RepMax)
+	}
+	if c.WriteFraction == 0 {
+		c.WriteFraction = 0.25
+	}
+	if c.WriteFraction < 0 || c.WriteFraction > 1 {
+		return c, fmt.Errorf("trace: synth: WriteFraction %v outside [0,1]", c.WriteFraction)
+	}
+	if c.ScatterLen == 0 {
+		c.ScatterLen = 4
+	}
+	if c.ScatterLen < 0 {
+		return c, fmt.Errorf("trace: synth: ScatterLen must be >= 0, got %d", c.ScatterLen)
+	}
+	return c, nil
+}
+
+// A SynthReader streams a synthetic trace, implementing AccessReader.
+// It holds only the current loop body — never the trace.
+type SynthReader struct {
+	cfg       SynthConfig
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	remaining int64
+
+	body    []int // current loop body (distinct variables)
+	bodyPos int   // next body index to emit
+	reps    int   // body repetitions left (including the current one)
+	scatter int   // scattered accesses left before the next loop
+}
+
+// NewSynthReader builds a reader for the config. Equal configs yield
+// bit-identical streams, on every platform (math/rand's generator is
+// deterministic for a fixed seed).
+func NewSynthReader(cfg SynthConfig) (*SynthReader, error) {
+	c, err := cfg.norm()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	return &SynthReader{
+		cfg:       c,
+		rng:       rng,
+		zipf:      rand.NewZipf(rng, c.ZipfS, 1, uint64(c.Vars-1)),
+		remaining: c.Accesses,
+		body:      make([]int, 0, c.LoopMax),
+	}, nil
+}
+
+// NumVars returns the universe size. Variables in a long Zipf tail may
+// never be accessed; consumers must treat NumVars as the universe, as
+// with named sequences.
+func (r *SynthReader) NumVars() int { return r.cfg.Vars }
+
+// Len returns the total stream length.
+func (r *SynthReader) Len() int64 { return r.cfg.Accesses }
+
+// pick samples one variable by Zipf popularity, permuted so hot
+// variables are spread over the index space rather than clustered at 0
+// (a fixed affine permutation keeps it deterministic and O(1)).
+func (r *SynthReader) pick() int {
+	v := int(r.zipf.Uint64())
+	if r.cfg.Vars > 1 {
+		v = (v*2654435761 + 17) % r.cfg.Vars
+	}
+	return v
+}
+
+// nextPhase samples the next loop body and repetition budget.
+func (r *SynthReader) nextPhase() {
+	l := r.cfg.LoopMin + r.rng.Intn(r.cfg.LoopMax-r.cfg.LoopMin+1)
+	if l > r.cfg.Vars {
+		l = r.cfg.Vars
+	}
+	r.body = r.body[:0]
+	// Sample distinct body members; Zipf resamples collide on the hot
+	// set, so after a bounded number of tries fall back to a random
+	// walk from the last member (still deterministic).
+	tries := 0
+	for len(r.body) < l {
+		v := r.pick()
+		if tries > 4*l {
+			v = (r.lastBodyVar() + 1 + r.rng.Intn(r.cfg.Vars)) % r.cfg.Vars
+		}
+		tries++
+		if !r.inBody(v) {
+			r.body = append(r.body, v)
+		}
+	}
+	r.bodyPos = 0
+	r.reps = r.cfg.RepMin + r.rng.Intn(r.cfg.RepMax-r.cfg.RepMin+1)
+	r.scatter = r.cfg.ScatterLen
+}
+
+func (r *SynthReader) lastBodyVar() int {
+	if len(r.body) == 0 {
+		return 0
+	}
+	return r.body[len(r.body)-1]
+}
+
+func (r *SynthReader) inBody(v int) bool {
+	for _, u := range r.body {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Next implements AccessReader.
+func (r *SynthReader) Next() (Access, error) {
+	if r.remaining <= 0 {
+		return Access{}, io.EOF
+	}
+	if r.reps == 0 && r.scatter == 0 {
+		r.nextPhase()
+	}
+	r.remaining--
+	var v int
+	if r.reps > 0 {
+		v = r.body[r.bodyPos]
+		r.bodyPos++
+		if r.bodyPos == len(r.body) {
+			r.bodyPos = 0
+			r.reps--
+		}
+	} else {
+		r.scatter--
+		v = r.pick()
+	}
+	return Access{Var: v, Write: r.rng.Float64() < r.cfg.WriteFraction}, nil
+}
+
+// Sequence materializes the configured stream — the in-RAM form, for
+// tests and small workloads. It drains a fresh reader, so it is
+// bit-identical to streaming the same config.
+func (cfg SynthConfig) Sequence() (*Sequence, error) {
+	r, err := NewSynthReader(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sequence{Accesses: make([]Access, 0, min64(cfg.Accesses, 1<<20))}
+	for {
+		a, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.Accesses = append(s.Accesses, a)
+	}
+	s.refresh()
+	return s, nil
+}

@@ -171,6 +171,13 @@ func ReadBenchmark(name string, r io.Reader) (*Benchmark, error) {
 	return trace.Parse(name, r)
 }
 
+// WriteBenchmark writes the benchmark in the multi-sequence text format
+// ReadBenchmark reads — the inverse conversion, used e.g. by rtmtrace to
+// turn a binary trace back into something greppable.
+func WriteBenchmark(w io.Writer, b *Benchmark) error {
+	return trace.Write(w, b)
+}
+
 // ReadAddressTrace reads a raw R/W address trace ("R 0x100" records, one
 // per line; see internal/trace) into a single access sequence at the
 // given word granularity in bytes.
@@ -206,6 +213,10 @@ type PlaceOptions struct {
 	// deterministic tie-break order. Empty means every strategy of the
 	// Lab's registry. Ignored by the single-strategy methods.
 	Portfolio []Strategy
+	// Window is the accesses-per-window granularity of Lab.PlaceStream
+	// (0 selects the default window; see StreamWindow). Ignored by the
+	// in-RAM methods.
+	Window int
 }
 
 // options lowers PlaceOptions to the per-strategy knobs. The port
