@@ -1,0 +1,136 @@
+// Command rtmcall is the CLI client for rtmserve (package rtmclient).
+// It submits one placement request — or, in flood mode (-n > 1), many
+// concurrent ones — and reports the outcome, making overload behavior
+// (sheds, coalescing, cache warmth) observable from a shell. Exit
+// status is 0 only when every request that was supposed to succeed did.
+//
+//	rtmcall -addr http://127.0.0.1:8723 -trace "a b a b c a c a"
+//	rtmcall -addr http://127.0.0.1:8723 -trace "a b a b" -n 50 -c 10 -retries 0
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/rtmclient"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8723", "rtmserve base URL")
+		traceStr = flag.String("trace", "", "access trace (token format; required)")
+		strategy = flag.String("strategy", "", "placement strategy (server default: DMA-OFU)")
+		dbcs     = flag.Int("dbcs", 0, "DBC count (0 = server default)")
+		deadline = flag.Duration("deadline", 0, "requested search budget (0 = server default)")
+		tenant   = flag.String("tenant", "", "tenant label for admission control")
+		n        = flag.Int("n", 1, "number of requests (flood mode when > 1)")
+		conc     = flag.Int("c", 8, "request concurrency in flood mode")
+		vary     = flag.Bool("vary", false, "flood mode: make every trace unique (defeats coalescing and cache)")
+		retries  = flag.Int("retries", 5, "client retry budget for 429/503 sheds")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "overall client deadline")
+		quiet    = flag.Bool("quiet", false, "suppress per-request output")
+	)
+	flag.Parse()
+	if *traceStr == "" {
+		fmt.Fprintln(os.Stderr, "rtmcall: -trace is required")
+		os.Exit(2)
+	}
+
+	cl := rtmclient.New(*addr, rtmclient.WithRetries(*retries))
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	req := rtmclient.PlaceRequest{
+		Trace:          *traceStr,
+		Strategy:       *strategy,
+		DBCs:           *dbcs,
+		DeadlineMillis: deadline.Milliseconds(),
+		Tenant:         *tenant,
+	}
+
+	if *n <= 1 {
+		res, err := cl.Place(ctx, &req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtmcall: %v\n", err)
+			os.Exit(1)
+		}
+		printResult(res)
+		return
+	}
+
+	// Flood mode: n requests at bounded concurrency, one summary line.
+	var ok, shed, partial, cached, coalesced, failed atomic.Int64
+	sem := make(chan struct{}, *conc)
+	var wg sync.WaitGroup
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r := req
+			if *vary {
+				// A distinct suffix token per request gives every trace its
+				// own fingerprint.
+				r.Trace = req.Trace + fmt.Sprintf(" uniq%d", i)
+			}
+			res, err := cl.Place(ctx, &r)
+			switch {
+			case err == nil:
+				ok.Add(1)
+				if res.Partial {
+					partial.Add(1)
+				}
+				if res.Cached {
+					cached.Add(1)
+				}
+				if res.Coalesced {
+					coalesced.Add(1)
+				}
+				if !*quiet {
+					fmt.Printf("req %d: shifts=%d partial=%v cached=%v coalesced=%v\n",
+						i, res.Shifts, res.Partial, res.Cached, res.Coalesced)
+				}
+			case isShed(err):
+				shed.Add(1)
+				if !*quiet {
+					fmt.Printf("req %d: shed (%v)\n", i, err)
+				}
+			default:
+				failed.Add(1)
+				fmt.Fprintf(os.Stderr, "req %d: failed: %v\n", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("requests=%d ok=%d shed=%d partial=%d cached=%d coalesced=%d failed=%d\n",
+		*n, ok.Load(), shed.Load(), partial.Load(), cached.Load(), coalesced.Load(), failed.Load())
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// isShed reports an overload rejection that exhausted the retry budget
+// — an expected outcome when flooding, distinct from a hard failure.
+func isShed(err error) bool {
+	var se *rtmclient.StatusError
+	if errors.As(err, &se) {
+		return se.Code == 429 || se.Code == 503
+	}
+	return false
+}
+
+func printResult(res *rtmclient.PlaceResponse) {
+	fmt.Printf("strategy=%s dbcs=%d fingerprint=%s shifts=%d partial=%v cached=%v coalesced=%v\n",
+		res.Strategy, res.DBCs, res.Fingerprint, res.Shifts, res.Partial, res.Cached, res.Coalesced)
+	for i, d := range res.Placement {
+		fmt.Printf("  dbc %d: %s\n", i, strings.Join(d, " "))
+	}
+}

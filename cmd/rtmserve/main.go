@@ -1,0 +1,124 @@
+// Command rtmserve runs the racetrack placement service: an HTTP server
+// (internal/server) over a racetrack.Lab with admission control,
+// request coalescing, per-request deadlines, a crash-safe persistent
+// placement cache, and graceful draining on SIGTERM/SIGINT.
+//
+// Quickstart:
+//
+//	rtmserve -addr 127.0.0.1:8723 -cache-dir /var/tmp/rtm-cache &
+//	rtmcall -addr http://127.0.0.1:8723 -trace "a b a b c a c a"
+//
+// Shutdown: send SIGTERM. The server stops accepting work (503 +
+// Retry-After for new requests), finishes every in-flight placement,
+// flushes the cache, and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	racetrack "repro"
+	"repro/internal/server"
+	"repro/internal/server/diskcache"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", "127.0.0.1:8723", "listen address")
+		cacheDir        = flag.String("cache-dir", "", "persistent placement cache directory (empty = no cache)")
+		maxConcurrent   = flag.Int("max-concurrent", 0, "max concurrently executing placements (0 = GOMAXPROCS)")
+		maxQueue        = flag.Int("max-queue", 64, "admission queue length beyond the concurrency limit")
+		tenantCap       = flag.Int("tenant-cap", 0, "per-tenant running+queued cap (0 = unlimited)")
+		maxDeadline     = flag.Duration("max-deadline", 30*time.Second, "server-side ceiling on a request's search budget")
+		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After hint attached to sheds")
+		dbcs            = flag.Int("dbcs", 4, "default DBC count when a request leaves dbcs unset")
+		workers         = flag.Int("workers", 0, "Lab worker pool size (0 = NumCPU)")
+		spin            = flag.Duration("spin", 0, "artificially lengthen each placement (load-testing knob)")
+		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after SIGTERM")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 5*time.Second, "bound on closing idle HTTP connections")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	labOpts := []racetrack.Option{racetrack.WithDevice(*dbcs)}
+	if *workers > 0 {
+		labOpts = append(labOpts, racetrack.WithWorkers(*workers))
+	}
+	lab, err := racetrack.New(labOpts...)
+	if err != nil {
+		logger.Fatalf("rtmserve: building lab: %v", err)
+	}
+
+	var cache *diskcache.Cache
+	if *cacheDir != "" {
+		cache, err = diskcache.Open(*cacheDir)
+		if err != nil {
+			logger.Fatalf("rtmserve: opening cache %s: %v", *cacheDir, err)
+		}
+		st := cache.Stats()
+		logger.Printf("rtmserve: cache open at %s (swept %d temp files, quarantined %d entries)",
+			*cacheDir, st.SweptTemps, st.Quarantined)
+	}
+
+	srv, err := server.New(server.Config{
+		Lab:           lab,
+		Cache:         cache,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		TenantCap:     *tenantCap,
+		MaxDeadline:   *maxDeadline,
+		RetryAfter:    *retryAfter,
+		DefaultDBCs:   *dbcs,
+		Spin:          *spin,
+		Log:           logger,
+	})
+	if err != nil {
+		logger.Fatalf("rtmserve: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("rtmserve: listen %s: %v", *addr, err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	logger.Printf("rtmserve: listening on %s", ln.Addr())
+	fmt.Printf("rtmserve: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		logger.Printf("rtmserve: %v: draining (new requests get 503, in-flight finish)", sig)
+	case err := <-errc:
+		logger.Fatalf("rtmserve: serve: %v", err)
+	}
+
+	// Drain order matters: flip the gate first so requests arriving on
+	// kept-alive connections are refused, then drain the application
+	// (in-flight requests finish and the cache flushes), then close the
+	// listener and idle connections.
+	srv.BeginDrain()
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer dcancel()
+	if err := srv.Drain(dctx); err != nil {
+		logger.Printf("rtmserve: drain incomplete: %v", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		logger.Printf("rtmserve: shutdown: %v", err)
+	}
+	logger.Printf("rtmserve: drained, exiting")
+	os.Exit(0)
+}

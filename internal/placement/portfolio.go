@@ -103,7 +103,10 @@ func RacePortfolio(ctx context.Context, s *trace.Sequence, q int, cfg PortfolioC
 	}
 	reg := cfg.Registry
 	if reg == nil {
-		reg = DefaultRegistry()
+		var err error
+		if reg, err = DefaultRegistry(); err != nil {
+			return nil, fmt.Errorf("placement: portfolio: %w", err)
+		}
 	}
 	resolve := cfg.Resolve
 	if resolve == nil {

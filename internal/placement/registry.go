@@ -58,16 +58,26 @@ type Registry struct {
 }
 
 // NewRegistry returns a fresh registry seeded with the built-in
-// strategies.
-func NewRegistry() *Registry {
+// strategies. Seeding is a construction step that can fail — a
+// mis-declared builtin list (duplicate or empty names) surfaces as an
+// error for the embedder to report, never as a panic.
+func NewRegistry() (*Registry, error) {
 	r := &Registry{byID: map[StrategyID]Strategy{}}
-	for _, st := range builtinStrategies() {
+	if err := seedRegistry(r, builtinStrategies()); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// seedRegistry registers the given strategies into r, wrapping the first
+// failure as a seeding error.
+func seedRegistry(r *Registry, sts []Strategy) error {
+	for _, st := range sts {
 		if err := r.Register(st); err != nil {
-			// Builtins have fixed, distinct, non-empty names.
-			panic(err)
+			return fmt.Errorf("placement: seeding builtin strategies: %w", err)
 		}
 	}
-	return r
+	return nil
 }
 
 // Register adds a strategy to the registry. It fails on an empty name and
@@ -132,24 +142,48 @@ func (r *Registry) Registered() []StrategyID {
 	return append(builtin, plugins...)
 }
 
-// defaultRegistry is the process-wide registry behind the package-level
-// functions — the table the legacy flat API and the internal drivers
-// resolve against when no instance registry is supplied.
-var defaultRegistry = NewRegistry()
+// defaultRegistry lazily builds the process-wide registry behind the
+// package-level functions — the table the legacy flat API and the
+// internal drivers resolve against when no instance registry is
+// supplied. Construction is deferred (and its error retained) so a
+// seeding failure reaches callers as an error instead of an init-time
+// panic.
+var defaultRegistry = sync.OnceValues(NewRegistry)
 
 // DefaultRegistry exposes the process-wide registry (the one the
 // package-level Register/LookupStrategy/Registered operate on), so the
-// public API's default session can share it.
-func DefaultRegistry() *Registry { return defaultRegistry }
+// public API's default session can share it. The error reports a failed
+// builtin seed and is stable across calls.
+func DefaultRegistry() (*Registry, error) { return defaultRegistry() }
 
 // Register adds a strategy to the process-wide registry.
-func Register(st Strategy) error { return defaultRegistry.Register(st) }
+func Register(st Strategy) error {
+	reg, err := DefaultRegistry()
+	if err != nil {
+		return err
+	}
+	return reg.Register(st)
+}
 
-// LookupStrategy resolves a strategy by name in the process-wide registry.
-func LookupStrategy(id StrategyID) (Strategy, bool) { return defaultRegistry.Lookup(id) }
+// LookupStrategy resolves a strategy by name in the process-wide
+// registry; an unseedable registry resolves nothing.
+func LookupStrategy(id StrategyID) (Strategy, bool) {
+	reg, err := DefaultRegistry()
+	if err != nil {
+		return nil, false
+	}
+	return reg.Lookup(id)
+}
 
-// Registered lists every strategy name of the process-wide registry.
-func Registered() []StrategyID { return defaultRegistry.Registered() }
+// Registered lists every strategy name of the process-wide registry
+// (nil if the registry failed to seed).
+func Registered() []StrategyID {
+	reg, err := DefaultRegistry()
+	if err != nil {
+		return nil
+	}
+	return reg.Registered()
+}
 
 // The six paper strategies, behind the Strategy interface.
 

@@ -105,6 +105,12 @@ type varLoc struct{ dbc, off int }
 // drained to io.EOF. See the package comment above for the cost model;
 // memory is O(Window + NumVars-independent bookkeeping) — the stream is
 // never materialized.
+//
+// The context is checked between windows. On cancellation the stitched
+// result through the last completed window is returned together with
+// the context's error — the same best-so-far contract the GA's
+// cancellation has — so deadline-bounded callers keep the partial
+// accounting instead of losing the run.
 func PlaceStreamed(ctx context.Context, r trace.AccessReader, cfg StreamConfig) (*StreamResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -127,7 +133,10 @@ func PlaceStreamed(ctx context.Context, r trace.AccessReader, cfg StreamConfig) 
 	}
 	reg := cfg.Registry
 	if reg == nil {
-		reg = DefaultRegistry()
+		var err error
+		if reg, err = DefaultRegistry(); err != nil {
+			return nil, fmt.Errorf("placement: stream: %w", err)
+		}
 	}
 	if _, ok := reg.Lookup(cfg.Strategy); !ok {
 		return nil, fmt.Errorf("placement: stream: unknown strategy %q", cfg.Strategy)
@@ -167,7 +176,13 @@ func PlaceStreamed(ctx context.Context, r trace.AccessReader, cfg StreamConfig) 
 	eof := false
 	for !eof {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			// Same contract as the GA's cancellation (GAContext): the
+			// best-so-far state — here the stitched result through the
+			// last completed window — rides along with the context's
+			// error, so a deadline bounds a long windowed run without
+			// discarding the windows already priced.
+			res.Shifts = res.WindowShifts + res.MigrationShifts
+			return res, err
 		}
 		// Read one window, compacting global variable ids to dense local
 		// ids in order of first appearance.
@@ -202,6 +217,13 @@ func PlaceStreamed(ctx context.Context, r trace.AccessReader, cfg StreamConfig) 
 		// Place the compacted window.
 		p, _, err := reg.Place(cfg.Strategy, ws, q, stOpts)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				// Cancelled mid-window: the unstitched window is
+				// discarded; the result through the previous window
+				// still rides along with the context error.
+				res.Shifts = res.WindowShifts + res.MigrationShifts
+				return res, cerr
+			}
 			return nil, fmt.Errorf("placement: stream: window %d (%d accesses, %d vars): %w",
 				res.Windows, ws.Len(), len(order), err)
 		}

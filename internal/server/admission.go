@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Admission control: the server accepts work up to a fixed concurrency,
+// queues a bounded number of requests beyond that, and sheds the rest
+// immediately — an overloaded server answers "try later" in
+// microseconds instead of queuing unboundedly until it OOMs or times
+// everything out. Per-tenant caps bound how much of the server one
+// tenant can hold (running plus queued), so a single flooding client
+// degrades itself, not its neighbors.
+
+// shedError reports a load-shedding decision: the request was never
+// admitted and the client should retry after backing off (HTTP 429 +
+// Retry-After).
+type shedError struct{ reason string }
+
+func (e *shedError) Error() string { return "overloaded: " + e.reason }
+
+// admission is the bounded work queue. Slot handoff is a channel
+// semaphore — waiters are woken in no particular order, which is fine
+// for a shedding server (fairness comes from the bounded queue: nobody
+// waits behind more than maxQueue requests).
+type admission struct {
+	slots    chan struct{}
+	maxQueue int
+
+	mu        sync.Mutex
+	queued    int
+	perTenant map[string]int // running + queued, per tenant
+	tenantCap int
+}
+
+func newAdmission(maxConcurrent, maxQueue, tenantCap int) *admission {
+	return &admission{
+		slots:     make(chan struct{}, maxConcurrent),
+		maxQueue:  maxQueue,
+		perTenant: make(map[string]int),
+		tenantCap: tenantCap,
+	}
+}
+
+// admit blocks until the request holds a work slot, the bounded queue
+// rejects it (a *shedError — shed immediately, no waiting), or the
+// context expires while queued. On success the returned release — safe
+// to call more than once — must be called when the work finishes.
+func (a *admission) admit(ctx context.Context, tenant string) (release func(), err error) {
+	a.mu.Lock()
+	if a.tenantCap > 0 && a.perTenant[tenant] >= a.tenantCap {
+		a.mu.Unlock()
+		return nil, &shedError{fmt.Sprintf("tenant %q at its concurrency cap (%d)", tenant, a.tenantCap)}
+	}
+	// Fast path: a free slot means no queuing at all.
+	select {
+	case a.slots <- struct{}{}:
+		a.perTenant[tenant]++
+		a.mu.Unlock()
+		return a.releaser(tenant), nil
+	default:
+	}
+	if a.queued >= a.maxQueue {
+		a.mu.Unlock()
+		return nil, &shedError{fmt.Sprintf("admission queue full (%d waiting)", a.maxQueue)}
+	}
+	a.queued++
+	a.perTenant[tenant]++
+	a.mu.Unlock()
+
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+		return a.releaser(tenant), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.queued--
+		a.dropTenant(tenant)
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) releaser(tenant string) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-a.slots
+			a.mu.Lock()
+			a.dropTenant(tenant)
+			a.mu.Unlock()
+		})
+	}
+}
+
+// dropTenant decrements a tenant's count, deleting the map entry at
+// zero so the accounting map stays bounded by live tenants.
+func (a *admission) dropTenant(tenant string) {
+	if a.perTenant[tenant]--; a.perTenant[tenant] <= 0 {
+		delete(a.perTenant, tenant)
+	}
+}
+
+// load reports the current (running, queued) counts.
+func (a *admission) load() (running, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.slots), a.queued
+}

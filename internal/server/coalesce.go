@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"repro/rtmclient"
+)
+
+// Request coalescing (singleflight): identical in-flight requests —
+// same trace fingerprint, same effective options — share one kernel
+// build and one placement. Unlike the classic singleflight, the shared
+// computation is NOT bound to its first caller's lifetime: it runs
+// under its own context and is cancelled only when every waiter has
+// gone, so a leader disconnecting mid-search does not fail the
+// followers, and a flight nobody is left waiting for stops burning a
+// worker slot. Errors (a shed, a panic converted to an error) propagate
+// to every waiter of the flight.
+
+// flight is one in-progress shared computation.
+type flight struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+	// res/err are written once before done is closed; the close is the
+	// happens-before edge for readers.
+	res *rtmclient.PlaceResponse
+	err error
+
+	waiters int
+}
+
+// flightGroup coalesces work by key.
+type flightGroup struct {
+	base context.Context // server lifetime: drains cancel outstanding flights
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	wg      sync.WaitGroup // running flight goroutines (drain waits on it)
+}
+
+func newFlightGroup(base context.Context) *flightGroup {
+	return &flightGroup{base: base, flights: make(map[string]*flight)}
+}
+
+// do returns the result of the flight for key, starting it with fn if
+// none is in progress. shared reports that an existing flight was
+// joined. The caller's ctx bounds only the caller's wait: on expiry the
+// caller leaves with ctx.Err() and the flight keeps running for the
+// remaining waiters — unless the caller was the last one, in which case
+// the flight's context is cancelled and the search returns best-so-far
+// to nobody.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (*rtmclient.PlaceResponse, error)) (res *rtmclient.PlaceResponse, err error, shared bool) {
+	g.mu.Lock()
+	f, ok := g.flights[key]
+	if !ok {
+		fctx, cancel := context.WithCancel(g.base)
+		f = &flight{done: make(chan struct{}), cancel: cancel}
+		g.flights[key] = f
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			f.res, f.err = fn(fctx)
+			g.mu.Lock()
+			// Stop matching new arrivals before signalling: a waiter
+			// joining after completion would otherwise miss the result's
+			// lifetime guarantees.
+			if g.flights[key] == f {
+				delete(g.flights, key)
+			}
+			g.mu.Unlock()
+			close(f.done)
+			cancel()
+		}()
+	}
+	f.waiters++
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		g.mu.Lock()
+		f.waiters--
+		g.mu.Unlock()
+		return f.res, f.err, ok
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		if last && g.flights[key] == f {
+			// Nobody is waiting anymore: let a future identical request
+			// start fresh instead of joining an abandoned flight.
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+		if last {
+			f.cancel()
+		}
+		return nil, ctx.Err(), ok
+	}
+}
+
+// wait blocks until every running flight goroutine has returned. Only
+// meaningful once no new flights can start (the drain gate has closed).
+func (g *flightGroup) wait() { g.wg.Wait() }

@@ -1,0 +1,196 @@
+package diskcache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testEntry() *Entry {
+	return &Entry{
+		Key:    Key{Fingerprint: 0xdeadbeefcafe, Strategy: "DMA-OFU", DBCs: 4, Capacity: 64, Ports: 1},
+		Shifts: 1234,
+		PerDBC: []int64{400, 400, 234, 200},
+		DBC:    [][]int{{0, 2}, {1}, {3, 4, 5}, {}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry()
+	if _, ok := c.Get(e.Key); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(e.Key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, e)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 write", st)
+	}
+}
+
+func TestReopenSurvives(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry()
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c2.Get(e.Key); !ok || got.Shifts != e.Shifts {
+		t.Fatalf("entry did not survive reopen (ok=%v)", ok)
+	}
+}
+
+// entryFile locates the single .rtpc file in the cache directory.
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "*.rtpc"))
+	if err != nil || len(m) != 1 {
+		t.Fatalf("want exactly one entry file, got %v (err %v)", m, err)
+	}
+	return m[0]
+}
+
+// corrupt tests: a damaged entry is a miss that quarantines the file,
+// and a subsequent Put rebuilds it — corruption is never fatal and
+// never visible as a wrong answer.
+func TestCorruptEntryQuarantinedAndRebuilt(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry()
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	path := entryFile(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff // flip a payload byte: the checksum must catch it
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := c.Get(e.Key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if st := c.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+	if bad, _ := filepath.Glob(filepath.Join(dir, "*.bad")); len(bad) != 1 {
+		t.Fatalf("want one quarantined .bad file, got %v", bad)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still at %s (err %v)", path, err)
+	}
+
+	// Rebuild: Put again, Get serves the fresh entry.
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get(e.Key); !ok || got.Shifts != e.Shifts {
+		t.Fatalf("rebuild after quarantine failed (ok=%v)", ok)
+	}
+}
+
+func TestTruncatedEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry()
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	path := entryFile(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(raw); cut += 7 {
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(e.Key); ok {
+			t.Fatalf("truncation at %d bytes served as a hit", cut)
+		}
+		// Clear the quarantine file so the next iteration's rename can't
+		// collide, and restore the entry for the next cut.
+		bad, _ := filepath.Glob(filepath.Join(dir, "*.bad"))
+		for _, b := range bad {
+			os.Remove(b)
+		}
+	}
+	if st := c.Stats(); st.Quarantined == 0 {
+		t.Fatal("no truncation was quarantined")
+	}
+}
+
+// TestWrongKeyQuarantined plants a valid entry under another key's
+// filename (what a filename-hash collision or a mangled directory looks
+// like): the load verifies the embedded key and refuses the entry.
+func TestWrongKeyQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry()
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	other := e.Key
+	other.Fingerprint++
+	if err := os.Rename(entryFile(t, dir), c.path(other)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(other); ok {
+		t.Fatal("entry with mismatched key served as a hit")
+	}
+	if st := c.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+}
+
+// TestTempSweep simulates a crash mid-write: the leftover temp file is
+// swept on Open and never becomes a visible entry.
+func TestTempSweep(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "0123456789abcdef.rtpc.12345.tmp")
+	if err := os.WriteFile(tmp, []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.SweptTemps != 1 {
+		t.Fatalf("SweptTemps = %d, want 1", st.SweptTemps)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived the sweep (err %v)", err)
+	}
+}

@@ -1,0 +1,31 @@
+package server
+
+import "testing"
+
+// FuzzDecodePlaceRequest fuzzes the untrusted request boundary:
+// arbitrary bytes must decode to a valid request or a client error —
+// never a panic (the per-request recovery would turn one into a 500,
+// but the decoder must not rely on it).
+func FuzzDecodePlaceRequest(f *testing.F) {
+	f.Add([]byte(`{"trace":"a b a b c a c a"}`))
+	f.Add([]byte(`{"trace":"a b!","strategy":"GA","dbcs":4,"capacity":64,"ports":2,"deadline_ms":100,"tenant":"t"}`))
+	f.Add([]byte(`{"trace":""}`))
+	f.Add([]byte(`{"trace":"a","dbcs":-1}`))
+	f.Add([]byte(`{"trace":"a","dbcs":99999999}`))
+	f.Add([]byte(`{"trace":"a"} trailing`))
+	f.Add([]byte(`{"unknown":true}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte(`{"trace":42}`))
+	f.Add([]byte(`[{"trace":"a"}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodePlaceRequest(data)
+		if (req == nil) == (err == nil) {
+			t.Fatalf("decodePlaceRequest: exactly one of request/error must be set (req=%v err=%v)", req, err)
+		}
+		if req != nil && req.seq == nil {
+			t.Fatal("decoded request without a sequence")
+		}
+	})
+}

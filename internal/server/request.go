@@ -1,0 +1,85 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	racetrack "repro"
+	"repro/rtmclient"
+)
+
+// Request decoding: the untrusted boundary. A body of arbitrary bytes
+// becomes a typed, validated placement request or a client error —
+// never a panic and never an unbounded allocation (the handler caps the
+// body size with http.MaxBytesReader before this sees it; the numeric
+// caps below bound what a hostile but well-formed request can ask for).
+
+// Request size/field caps.
+const (
+	// MaxBodyBytes bounds the /v1/place request body.
+	MaxBodyBytes = 16 << 20
+	// maxDBCs/maxPorts/maxCapacity bound the placement options a request
+	// may select — generous multiples of any Table I device.
+	maxDBCs     = 4096
+	maxPorts    = 1024
+	maxCapacity = 1 << 30
+	// maxTenantLen bounds the tenant label (it keys an accounting map).
+	maxTenantLen = 128
+)
+
+// placeRequest is the decoded, validated form of one /v1/place call.
+type placeRequest struct {
+	seq      *racetrack.Sequence
+	strategy racetrack.Strategy
+	dbcs     int
+	capacity int
+	ports    int
+	deadline time.Duration // client ask; 0 = use the server default
+	tenant   string
+}
+
+// decodePlaceRequest turns an uploaded body into a typed request. Every
+// failure is a client error (HTTP 400); malformed input of any shape
+// must come back as an error, never a panic (FuzzDecodePlaceRequest
+// pins this).
+func decodePlaceRequest(body []byte) (*placeRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var wire rtmclient.PlaceRequest
+	if err := dec.Decode(&wire); err != nil {
+		return nil, fmt.Errorf("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("invalid request body: trailing data after the JSON object")
+	}
+	if wire.Trace == "" {
+		return nil, fmt.Errorf("missing trace")
+	}
+	switch {
+	case wire.DBCs < 0 || wire.DBCs > maxDBCs:
+		return nil, fmt.Errorf("dbcs %d out of range [0,%d]", wire.DBCs, maxDBCs)
+	case wire.Capacity < 0 || wire.Capacity > maxCapacity:
+		return nil, fmt.Errorf("capacity %d out of range [0,%d]", wire.Capacity, maxCapacity)
+	case wire.Ports < 0 || wire.Ports > maxPorts:
+		return nil, fmt.Errorf("ports %d out of range [0,%d]", wire.Ports, maxPorts)
+	case wire.DeadlineMillis < 0:
+		return nil, fmt.Errorf("deadline_ms %d is negative", wire.DeadlineMillis)
+	case len(wire.Tenant) > maxTenantLen:
+		return nil, fmt.Errorf("tenant label longer than %d bytes", maxTenantLen)
+	}
+	seq, err := racetrack.ParseSequence(wire.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("invalid trace: %v", err)
+	}
+	return &placeRequest{
+		seq:      seq,
+		strategy: racetrack.Strategy(wire.Strategy),
+		dbcs:     wire.DBCs,
+		capacity: wire.Capacity,
+		ports:    wire.Ports,
+		deadline: time.Duration(wire.DeadlineMillis) * time.Millisecond,
+		tenant:   wire.Tenant,
+	}, nil
+}

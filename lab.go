@@ -82,8 +82,14 @@ func New(opts ...Option) (*Lab, error) {
 	for _, opt := range opts {
 		opt(cfg)
 	}
+	registry, err := placement.NewRegistry()
+	if err != nil {
+		// The builtin seed failed: a construction error, not a panic —
+		// nothing else can be meaningfully applied without a registry.
+		return nil, fmt.Errorf("racetrack: New: %w", err)
+	}
 	l := &Lab{
-		registry: placement.NewRegistry(),
+		registry: registry,
 		workers:  cfg.workers,
 		dbcs:     cfg.dbcs,
 		islands:  cfg.islands,
@@ -135,6 +141,18 @@ func (l *Lab) RegisteredStrategies() []Strategy { return l.registry.Registered()
 
 // Device returns the Lab's default simulated device (see WithDevice).
 func (l *Lab) Device() DeviceConfig { return l.device }
+
+// KernelCacheStats reports the Lab's content-addressed kernel-cache
+// counters: hits (a content-equal sequence reused a cached kernel) and
+// misses (a kernel was built). A Lab with the cache disabled
+// (WithKernelCache(0)) reports zeros. This is the cache's observability
+// hook — a serving front-end exports it as warm/cold metrics.
+func (l *Lab) KernelCacheStats() (hits, misses int64) {
+	if l.cache == nil {
+		return 0, 0
+	}
+	return l.cache.stats()
+}
 
 // emit serializes progress delivery; the callback never needs its own
 // locking even though cells finish on concurrent workers.
@@ -218,7 +236,19 @@ func (l *Lab) placeOne(ctx context.Context, s *Sequence, opts PlaceOptions) (*Pl
 	}
 	p, c, err := l.registry.Place(opts.Strategy, s, opts.DBCs, stOpts)
 	if err != nil {
-		return nil, err
+		// A deadline-bounded search (GA, islands) surfaces its
+		// best-so-far placement alongside the context's error
+		// (GAContext's contract). Attribute and return it with the
+		// error, so service callers whose budget expired get a usable
+		// partial result instead of nothing.
+		if p == nil || ctx.Err() == nil {
+			return nil, err
+		}
+		b, berr := l.breakdownFor(s, p, stOpts, opts.DBCs)
+		if berr != nil || b.Total != c {
+			return nil, err
+		}
+		return &PlaceResult{Placement: p, Shifts: b.Total, PerDBC: b.PerDBC}, err
 	}
 	b, err := l.breakdownFor(s, p, stOpts, opts.DBCs)
 	if err != nil {
@@ -235,6 +265,13 @@ func (l *Lab) placeOne(ctx context.Context, s *Sequence, opts PlaceOptions) (*Pl
 // before the placement and interrupts the GA's search loop between
 // generations (and between island migration rounds); custom strategies
 // may honor it through StrategyOptions.Context.
+//
+// When the context expires mid-search, Place can return a non-nil
+// result TOGETHER WITH the context's error: the search's best-so-far
+// placement, with its exact attributed cost. Callers that can use a
+// partial result (a placement service answering within a deadline)
+// check the result; callers that cannot treat the error as fatal, as
+// before.
 func (l *Lab) Place(ctx context.Context, s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -246,7 +283,7 @@ func (l *Lab) Place(ctx context.Context, s *Sequence, opts PlaceOptions) (*Place
 	l.emit(ProgressEvent{Cells: 1, Sequence: s, Strategy: opts.Strategy, DBCs: opts.DBCs, Island: -1})
 	res, err := l.placeOne(ctx, s, opts)
 	done := ProgressEvent{Cells: 1, Sequence: s, Strategy: opts.Strategy, DBCs: opts.DBCs, Island: -1, Done: true, Err: err}
-	if err == nil {
+	if res != nil {
 		done.Shifts = res.Shifts
 	}
 	l.emit(done)
@@ -455,24 +492,24 @@ func (l *Lab) SimulateBenchmarkOn(ctx context.Context, dev DeviceConfig, b *Benc
 // the stateless pre-session API did not have; long-running embedders
 // that stream huge one-shot traces should build their own Lab with
 // WithKernelCache(0) (or a small capacity) instead of the flat API.
-var (
-	defaultLabOnce sync.Once
-	defaultLabInst *Lab
-)
-
-func defaultLab() *Lab {
-	defaultLabOnce.Do(func() {
-		dev, err := sim.TableIConfig(4)
-		if err != nil {
-			panic(err) // Table I always has a 4-DBC row
-		}
-		defaultLabInst = &Lab{
-			registry: placement.DefaultRegistry(),
-			workers:  1,
-			dbcs:     4,
-			device:   dev,
-			cache:    newKernelCache(DefaultKernelCacheSize),
-		}
-	})
-	return defaultLabInst
-}
+//
+// Construction can fail (a missing Table I row, an unseedable process
+// registry); the error is retained and returned on every call instead
+// of panicking — the flat wrappers surface it like any other call error.
+var defaultLab = sync.OnceValues(func() (*Lab, error) {
+	dev, err := sim.TableIConfig(4)
+	if err != nil {
+		return nil, fmt.Errorf("racetrack: default session device: %w", err)
+	}
+	reg, err := placement.DefaultRegistry()
+	if err != nil {
+		return nil, fmt.Errorf("racetrack: default session registry: %w", err)
+	}
+	return &Lab{
+		registry: reg,
+		workers:  1,
+		dbcs:     4,
+		device:   dev,
+		cache:    newKernelCache(DefaultKernelCacheSize),
+	}, nil
+})

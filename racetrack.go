@@ -92,8 +92,16 @@ func Strategies() []Strategy { return placement.AllStrategies() }
 // RegisteredStrategies lists every strategy resolvable by name in the
 // default Lab: the six paper strategies first, then plugged-in
 // strategies (including the built-in "DMA-2opt" and "GA-2opt"
-// extensions).
-func RegisteredStrategies() []Strategy { return defaultLab().RegisteredStrategies() }
+// extensions). It returns nil if the default session failed to
+// construct (an unseedable process registry — see RegisterStrategy for
+// the error).
+func RegisteredStrategies() []Strategy {
+	l, err := defaultLab()
+	if err != nil {
+		return nil
+	}
+	return l.RegisteredStrategies()
+}
 
 // StrategyOptions carries the per-strategy tuning knobs (capacity, GA/RW
 // parameters) passed to every strategy, including custom ones.
@@ -125,7 +133,11 @@ func DefaultRWConfig() RWConfig { return placement.DefaultRWConfig() }
 // and deterministic for a fixed input if reproducible experiments are
 // desired. Registration fails on an empty or already-taken name.
 func RegisterStrategy(name string, fn func(s *Sequence, q int, opts StrategyOptions) (*Placement, int64, error)) error {
-	return defaultLab().RegisterStrategy(name, fn)
+	l, err := defaultLab()
+	if err != nil {
+		return err
+	}
+	return l.RegisterStrategy(name, fn)
 }
 
 // DMA2Opt is the two-opt-refined DMA strategy (DMA inter-DBC placement,
@@ -244,7 +256,11 @@ type PlaceResult struct {
 // compat wrapper over the default Lab's Place (repeated calls on the
 // same trace content therefore hit the Lab's kernel cache).
 func PlaceTrace(s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
-	return defaultLab().Place(context.Background(), s, opts)
+	l, err := defaultLab()
+	if err != nil {
+		return nil, err
+	}
+	return l.Place(context.Background(), s, opts)
 }
 
 // BenchmarkPlaceResult is the outcome of placing every sequence of a
@@ -263,7 +279,11 @@ type BenchmarkPlaceResult struct {
 // when opts.Workers > 1. The results are identical for any worker count.
 // It is a compat wrapper over the default Lab's PlaceBenchmark.
 func PlaceBenchmark(b *Benchmark, opts PlaceOptions) (*BenchmarkPlaceResult, error) {
-	return defaultLab().PlaceBenchmark(context.Background(), b, opts)
+	l, err := defaultLab()
+	if err != nil {
+		return nil, err
+	}
+	return l.PlaceBenchmark(context.Background(), b, opts)
 }
 
 // DeviceConfig describes a simulated RTM device.
@@ -283,7 +303,11 @@ type SimResult = sim.Result
 // returns shift/read/write counts, latency and the energy breakdown. It
 // is a compat wrapper over the default Lab's SimulateOn.
 func Simulate(dev DeviceConfig, s *Sequence, p *Placement) (SimResult, error) {
-	return defaultLab().SimulateOn(context.Background(), dev, s, p)
+	l, err := defaultLab()
+	if err != nil {
+		return SimResult{}, err
+	}
+	return l.SimulateOn(context.Background(), dev, s, p)
 }
 
 // SimulateBenchmark places (with the given strategy, defaulting to
@@ -294,7 +318,11 @@ func Simulate(dev DeviceConfig, s *Sequence, p *Placement) (SimResult, error) {
 // count).
 func SimulateBenchmark(dev DeviceConfig, b *Benchmark, strategy Strategy, opts PlaceOptions) (SimResult, error) {
 	opts.Strategy = strategy
-	return defaultLab().SimulateBenchmarkOn(context.Background(), dev, b, opts)
+	l, err := defaultLab()
+	if err != nil {
+		return SimResult{}, err
+	}
+	return l.SimulateBenchmarkOn(context.Background(), dev, b, opts)
 }
 
 // EnergyParams exposes the Table I row for a DBC count.

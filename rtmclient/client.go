@@ -1,0 +1,241 @@
+// Package rtmclient is the client for the rtmserve placement service:
+// the JSON wire types of the /v1/place endpoint and a small HTTP client
+// with exponential backoff. The client is built for an overloaded
+// service — a 429 shed or a 503 drain is retried with jittered backoff,
+// honoring the server's Retry-After hint and the caller's context, so a
+// fleet of clients converges onto the server's capacity instead of
+// hammering it.
+//
+//	cl := rtmclient.New("http://127.0.0.1:8723")
+//	res, err := cl.Place(ctx, &rtmclient.PlaceRequest{
+//		Trace:    "a b a b c a c a d d a",
+//		Strategy: "DMA-OFU",
+//		DBCs:     4,
+//	})
+package rtmclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// PlaceRequest is the body of POST /v1/place.
+type PlaceRequest struct {
+	// Trace is the access sequence in the text token format
+	// (racetrack.ParseSequence): whitespace-separated variable names, a
+	// "!" suffix marking writes. Required.
+	Trace string `json:"trace"`
+	// Strategy names the placement strategy (default DMA-OFU).
+	Strategy string `json:"strategy,omitempty"`
+	// DBCs, Capacity, Ports mirror racetrack.PlaceOptions (0 = server
+	// defaults).
+	DBCs     int `json:"dbcs,omitempty"`
+	Capacity int `json:"capacity,omitempty"`
+	Ports    int `json:"ports,omitempty"`
+	// DeadlineMillis asks the server to bound this request's search; the
+	// effective deadline is min(DeadlineMillis, the server's maximum). A
+	// search that hits its deadline returns its best-so-far placement
+	// with Partial set rather than failing.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+	// Tenant attributes the request for per-tenant admission control;
+	// empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// PlaceResponse is the body of a successful (HTTP 200) placement.
+type PlaceResponse struct {
+	// Strategy and DBCs echo the effective (defaulted) options.
+	Strategy string `json:"strategy"`
+	DBCs     int    `json:"dbcs"`
+	// Fingerprint is the trace's content fingerprint (hex) — the
+	// coalescing and cache key.
+	Fingerprint string `json:"fingerprint"`
+	// Shifts is the placement's total shift cost; PerDBC attributes it.
+	Shifts int64   `json:"shifts"`
+	PerDBC []int64 `json:"per_dbc"`
+	// Placement lists each DBC's variables in offset order, by name.
+	Placement [][]string `json:"placement"`
+	// Partial marks a deadline-bounded search's best-so-far result.
+	Partial bool `json:"partial,omitempty"`
+	// Cached marks a result served from the persistent placement cache.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced marks a request that shared another in-flight identical
+	// request's computation instead of running its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// ErrorResponse is the body of a non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// StatusError reports a non-200 server response the client did not (or
+// could no longer) retry.
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Message is the server's error string.
+	Message string
+	// RetryAfter is the server's Retry-After hint, if any.
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("rtmclient: server returned %d: %s", e.Code, e.Message)
+}
+
+// Client talks to one rtmserve instance.
+type Client struct {
+	base string
+	http *http.Client
+
+	maxRetries int
+	baseDelay  time.Duration
+	maxDelay   time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (default:
+// http.DefaultClient with no client-side timeout — deadlines travel in
+// the request context).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithRetries bounds the retry budget for shed (429) and draining (503)
+// responses; n == 0 disables retrying. Default 5.
+func WithRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithBackoff sets the backoff envelope: the first retry waits about
+// base (jittered), doubling up to max. A server Retry-After overrides
+// the computed delay when it is longer. Defaults: 100ms base, 5s max.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.baseDelay, c.maxDelay = base, max }
+}
+
+// WithJitterSeed fixes the backoff jitter stream (tests).
+func WithJitterSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New builds a client for the service at base (e.g.
+// "http://127.0.0.1:8723").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:       base,
+		http:       http.DefaultClient,
+		maxRetries: 5,
+		baseDelay:  100 * time.Millisecond,
+		maxDelay:   5 * time.Second,
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Place submits one placement request, retrying overload sheds with
+// jittered exponential backoff. The context bounds the whole call —
+// requests in flight, backoff sleeps and all retries; on expiry the
+// context's error is returned.
+func (c *Client) Place(ctx context.Context, req *PlaceRequest) (*PlaceResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("rtmclient: encoding request: %w", err)
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		res, retryable, err := c.placeOnce(ctx, body)
+		if err == nil {
+			return res, nil
+		}
+		last = err
+		if !retryable || attempt >= c.maxRetries {
+			return nil, last
+		}
+		delay := c.backoff(attempt)
+		if se, ok := err.(*StatusError); ok && se.RetryAfter > delay {
+			delay = se.RetryAfter
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// placeOnce runs one HTTP round trip. retryable marks overload-class
+// failures (shed, draining, transport errors) worth backing off on;
+// 4xx rejections and deadline failures are not retried — the same
+// request would fail the same way.
+func (c *Client) placeOnce(ctx context.Context, body []byte) (res *PlaceResponse, retryable bool, err error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/place", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, fmt.Errorf("rtmclient: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := c.http.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, false, ctx.Err()
+		}
+		return nil, true, fmt.Errorf("rtmclient: %w", err)
+	}
+	defer hres.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hres.Body, 64<<20))
+	if err != nil {
+		return nil, true, fmt.Errorf("rtmclient: reading response: %w", err)
+	}
+	if hres.StatusCode == http.StatusOK {
+		out := &PlaceResponse{}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return nil, false, fmt.Errorf("rtmclient: decoding response: %w", err)
+		}
+		return out, false, nil
+	}
+	se := &StatusError{Code: hres.StatusCode}
+	var er ErrorResponse
+	if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+		se.Message = er.Error
+	} else {
+		se.Message = http.StatusText(hres.StatusCode)
+	}
+	if secs, aerr := strconv.Atoi(hres.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
+		se.RetryAfter = time.Duration(secs) * time.Second
+	}
+	overloaded := hres.StatusCode == http.StatusTooManyRequests ||
+		hres.StatusCode == http.StatusServiceUnavailable
+	return nil, overloaded, se
+}
+
+// backoff computes the jittered exponential delay for a retry attempt:
+// a uniformly random fraction of base·2^attempt, capped at max ("full
+// jitter" — desynchronizes a fleet of retrying clients).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.baseDelay << uint(attempt)
+	if d <= 0 || d > c.maxDelay {
+		d = c.maxDelay
+	}
+	c.mu.Lock()
+	f := c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(f * float64(d))
+}

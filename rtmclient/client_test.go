@@ -1,0 +1,134 @@
+package rtmclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func okBody() string {
+	return `{"strategy":"DMA-OFU","dbcs":4,"fingerprint":"1","shifts":7,"per_dbc":[7],"placement":[["a"]]}`
+}
+
+// TestRetriesShedsThenSucceeds: two 429s then a 200 — the client backs
+// off and lands the request.
+func TestRetriesShedsThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"overloaded"}`))
+			return
+		}
+		w.Write([]byte(okBody()))
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetries(5), WithBackoff(time.Millisecond, 4*time.Millisecond), WithJitterSeed(1))
+	res, err := cl.Place(context.Background(), &PlaceRequest{Trace: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shifts != 7 || calls.Load() != 3 {
+		t.Fatalf("shifts=%d calls=%d, want 7 after exactly 3 attempts", res.Shifts, calls.Load())
+	}
+}
+
+// TestHonorsRetryAfter: the server's Retry-After hint stretches the
+// backoff beyond the client's own (tiny) envelope.
+func TestHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"overloaded"}`))
+			return
+		}
+		w.Write([]byte(okBody()))
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond), WithJitterSeed(1))
+	start := time.Now()
+	if _, err := cl.Place(context.Background(), &PlaceRequest{Trace: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 900*time.Millisecond {
+		t.Fatalf("retried after %v, want >= ~1s (the server's Retry-After)", el)
+	}
+}
+
+// TestNoRetryOnClientError: a 400 is deterministic — retrying wastes
+// server capacity, so the client must not.
+func TestNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"missing trace"}`))
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetries(5), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	_, err := cl.Place(context.Background(), &PlaceRequest{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if se.Message != "missing trace" {
+		t.Fatalf("Message = %q, want the server's error string", se.Message)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("client retried a 400: %d attempts", calls.Load())
+	}
+}
+
+// TestRetryBudgetExhausted: a persistently overloaded server eventually
+// yields the last StatusError, not an infinite loop.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"draining"}`))
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetries(3), WithBackoff(time.Millisecond, 2*time.Millisecond), WithJitterSeed(7))
+	_, err := cl.Place(context.Background(), &PlaceRequest{Trace: "a"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want StatusError 503", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("attempts = %d, want 4 (1 + 3 retries)", got)
+	}
+}
+
+// TestContextBoundsBackoff: the caller's context cuts through a long
+// Retry-After sleep.
+func TestContextBoundsBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"overloaded"}`))
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetries(5), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.Place(ctx, &PlaceRequest{Trace: "a"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("context took %v to cut the backoff", el)
+	}
+}

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end robustness smoke for the placement service (CI server-smoke
+# job; runnable locally). Exercises the failure modes the server is
+# designed around:
+#   1. place a trace through rtmserve via the rtmcall client;
+#   2. flood a tiny-queue server and require load shedding (429s) while
+#      every accepted request completes;
+#   3. SIGTERM mid-flight: the in-flight request completes, the server
+#      exits 0, and the persistent cache is reloadable (warm restart);
+#   4. kill -9 (crash, possibly mid-write): the restarted server still
+#      answers the same trace from a verified or rebuilt cache — a crash
+#      never leaves the cache in a state that breaks serving.
+set -euo pipefail
+
+ADDR=127.0.0.1:8741
+BASE=http://$ADDR
+CACHE=$(mktemp -d)
+OUT=$(mktemp -d)
+LOG=$(mktemp)
+TRACE="a b a b c a c a d d a b c d"
+trap 'kill "$SRV" 2>/dev/null || true; rm -rf "$CACHE" "$OUT" "$LOG"' EXIT
+
+go build -o "$OUT/rtmserve" ./cmd/rtmserve
+go build -o "$OUT/rtmcall" ./cmd/rtmcall
+
+wait_ready() {
+  for _ in $(seq 1 50); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "server never became healthy" >&2
+  cat "$LOG" >&2
+  return 1
+}
+
+echo "=== leg 1: basic place + cache warmth"
+"$OUT"/rtmserve -addr "$ADDR" -cache-dir "$CACHE" >"$LOG" 2>&1 &
+SRV=$!
+wait_ready
+"$OUT"/rtmcall -addr "$BASE" -trace "$TRACE" | tee "$OUT"/leg1.out
+grep -q "cached=false" "$OUT"/leg1.out
+"$OUT"/rtmcall -addr "$BASE" -trace "$TRACE" | tee "$OUT"/leg1b.out
+grep -q "cached=true" "$OUT"/leg1b.out
+
+echo "=== leg 2: flood a tiny queue -> sheds, accepted requests complete"
+kill -TERM "$SRV"; wait "$SRV"
+"$OUT"/rtmserve -addr "$ADDR" -cache-dir "$CACHE" \
+  -max-concurrent 1 -max-queue 1 -spin 300ms >"$LOG" 2>&1 &
+SRV=$!
+wait_ready
+# -vary defeats coalescing/cache; -retries 0 so sheds surface as sheds.
+"$OUT"/rtmcall -addr "$BASE" -trace "$TRACE" -n 12 -c 12 -vary -retries 0 -quiet | tee "$OUT"/flood.out
+OK=$(sed -n 's/.*ok=\([0-9]*\).*/\1/p' "$OUT"/flood.out)
+SHED=$(sed -n 's/.*shed=\([0-9]*\).*/\1/p' "$OUT"/flood.out)
+FAILED=$(sed -n 's/.*failed=\([0-9]*\).*/\1/p' "$OUT"/flood.out)
+echo "flood: ok=$OK shed=$SHED failed=$FAILED"
+[ "$FAILED" -eq 0 ]   # sheds are expected, hard failures are not
+[ "$SHED" -ge 1 ]     # the tiny queue must actually shed
+[ "$OK" -ge 2 ]       # slot + queue must complete
+curl -fsS "$BASE/statz" | grep -q '"shed":'
+
+echo "=== leg 3: SIGTERM mid-flight -> in-flight completes, exit 0, cache reloadable"
+( "$OUT"/rtmcall -addr "$BASE" -trace "$TRACE midflight" -retries 0 > "$OUT"/inflight.out ) &
+CALL=$!
+sleep 0.1            # let it get admitted (each request spins 300ms)
+kill -TERM "$SRV"
+wait "$CALL"         # the client must succeed: drain finishes in-flight work
+grep -q "shifts=" "$OUT"/inflight.out
+if wait "$SRV"; then EXIT=0; else EXIT=$?; fi
+[ "$EXIT" -eq 0 ]    # graceful drain exits 0
+"$OUT"/rtmserve -addr "$ADDR" -cache-dir "$CACHE" >"$LOG" 2>&1 &
+SRV=$!
+wait_ready
+"$OUT"/rtmcall -addr "$BASE" -trace "$TRACE midflight" | tee "$OUT"/warm.out
+grep -q "cached=true" "$OUT"/warm.out   # the drained cache survived the restart
+
+echo "=== leg 4: kill -9 -> restart serves the trace from a verified/rebuilt cache"
+( "$OUT"/rtmcall -addr "$BASE" -trace "$TRACE crashleg" -retries 0 >/dev/null 2>&1 || true ) &
+sleep 0.05
+kill -9 "$SRV" || true
+wait "$SRV" 2>/dev/null || true
+# Plant a corrupt entry + a stray temp to simulate a torn write.
+printf 'RTPCgarbage-not-a-valid-entry' > "$CACHE/deadbeefdeadbeef.rtpc"
+printf 'torn' > "$CACHE/deadbeefdeadbeef.rtpc.123.tmp"
+"$OUT"/rtmserve -addr "$ADDR" -cache-dir "$CACHE" >"$LOG" 2>&1 &
+SRV=$!
+wait_ready
+"$OUT"/rtmcall -addr "$BASE" -trace "$TRACE crashleg" | grep -q "shifts="
+"$OUT"/rtmcall -addr "$BASE" -trace "$TRACE crashleg" | grep -q "cached=true"
+kill -TERM "$SRV"; wait "$SRV"
+
+echo "server-smoke: all legs passed"

@@ -141,6 +141,12 @@ func (l *Lab) PlaceStream(ctx context.Context, numVars int, r AccessReader, opts
 	}
 	res, err := placement.PlaceStreamed(ctx, r, cfg)
 	if err != nil {
+		if res != nil && ctx.Err() != nil {
+			// Deadline-bounded run: the stitched result through the last
+			// completed window rides along with the context error, as in
+			// Lab.Place's partial-result contract.
+			return res, err
+		}
 		return nil, fmt.Errorf("racetrack: place stream: %w", err)
 	}
 	return res, nil
@@ -149,5 +155,9 @@ func (l *Lab) PlaceStream(ctx context.Context, numVars int, r AccessReader, opts
 // PlaceStream is the package-level form of Lab.PlaceStream on the
 // default Lab.
 func PlaceStream(ctx context.Context, numVars int, r AccessReader, opts PlaceOptions) (*StreamResult, error) {
-	return defaultLab().PlaceStream(ctx, numVars, r, opts)
+	l, err := defaultLab()
+	if err != nil {
+		return nil, err
+	}
+	return l.PlaceStream(ctx, numVars, r, opts)
 }
