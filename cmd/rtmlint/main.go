@@ -1,0 +1,107 @@
+// Command rtmlint runs the repository's invariant suite
+// (internal/analysis) over module packages: determinism (detcheck),
+// context propagation (ctxcheck), hot-path allocation freedom
+// (hotalloc), and no-panic library code (nopanic). It is the static
+// half of the contracts the bench gate and fuzz parity enforce at run
+// time; CI runs it as a blocking lint step and contributors run it
+// before pushing:
+//
+//	go run ./cmd/rtmlint ./...
+//
+// Diagnostics print as file:line:col: analyzer: message and any
+// finding exits nonzero. Suppress a deliberate exception on its line
+// (or the line above) with //rtmlint:<analyzer>-ok <reason> — the
+// reason is mandatory. See DESIGN.md §14 for the invariant catalog.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rtmlint [-only a,b] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.Analyzers()
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "rtmlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunPackage(pkg, analyzers) {
+			found++
+			fmt.Printf("%s: %s: %s\n", relPos(cwd, d), d.Analyzer, d.Message)
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "rtmlint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// relPos shortens absolute diagnostic paths relative to the working
+// directory for readable, clickable output.
+func relPos(cwd string, d analysis.Diagnostic) string {
+	name := d.Pos.Filename
+	if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%d:%d", name, d.Pos.Line, d.Pos.Column)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtmlint:", err)
+	os.Exit(2)
+}

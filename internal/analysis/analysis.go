@@ -1,0 +1,164 @@
+// Package analysis is the rtmlint invariant suite: a set of static
+// analyzers that machine-check the repository's cross-cutting contracts
+// — determinism (DESIGN.md §§4,11), context propagation (§9), hot-path
+// allocation freedom (§8), and no-panic library code (§13) — plus the
+// small driver framework they run on.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf, analysistest-style golden files) but is
+// built purely on the standard library (go/ast, go/types, go/build and
+// the offline "source" importer). The module has zero external
+// dependencies and the build environment cannot assume network access
+// to fetch x/tools, so the dependency is gated out rather than pinned;
+// if the module ever vendors x/tools these analyzers port mechanically
+// (each Run is a pure function of the type-checked syntax). See
+// DESIGN.md §14.
+//
+// Diagnostics are suppressed by an explicit annotation on the flagged
+// line (or the line immediately above):
+//
+//	//rtmlint:<analyzer>-ok <reason>
+//
+// The reason is mandatory: a suppression without one is itself a
+// diagnostic. The grammar is defined in suppress.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one named invariant check. Run inspects the package in
+// pass and reports findings via pass.Reportf; it must not retain the
+// pass. Analyzers are stateless and safe to reuse across packages.
+type Analyzer struct {
+	Name string // short lowercase identifier, used in the suppression grammar
+	Doc  string // one-line summary of the invariant
+	Run  func(*Pass)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File // non-test files only, build-tag filtered
+	Path     string      // import path ("repro/internal/engine")
+	Pkg      *types.Package
+	Info     *types.Info
+
+	sup   *suppressions
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, resolved to a concrete position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless an in-scope
+// //rtmlint:<name>-ok suppression covers it. Suppressions missing a
+// reason do not suppress (the malformed comment is reported separately
+// by CheckSuppressions).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.sup != nil && p.sup.covers(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.Info.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Analyzers returns the full suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetCheck, CtxCheck, HotAlloc, NoPanic}
+}
+
+// AnalyzerNames returns the set of valid suppression-grammar names.
+func AnalyzerNames() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range Analyzers() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// RunPackage runs the given analyzers over one loaded package and
+// returns the surviving diagnostics sorted by position. Malformed
+// suppression comments (unknown analyzer name, missing reason) are
+// included as diagnostics from the pseudo-analyzer "suppress".
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	diags = append(diags, CheckSuppressions(pkg.Fset, pkg.Files, AnalyzerNames())...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			sup:      sup,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// inspectStack walks root in source order invoking f with each node and
+// the stack of its ancestors (outermost first, not including n). If f
+// returns false the node's children are skipped.
+func inspectStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := f(n, stack)
+		if descend {
+			stack = append(stack, n)
+			return true
+		}
+		return false
+	})
+}

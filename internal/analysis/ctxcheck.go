@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheck enforces the context-propagation discipline of DESIGN.md §9:
+// below the public surface every long-running call chain threads one
+// context.Context, so cancellation and deadlines reach every layer.
+//
+//   - context.Background()/context.TODO() are flagged in library
+//     (non-main) packages: a fresh root context below the surface
+//     detaches the callee from the caller's cancellation. The one
+//     sanctioned shape stays quiet: the nil-guard default
+//     `if ctx == nil { ctx = context.Background() }`, which only fires
+//     when no caller context exists at all.
+//   - Struct fields of type context.Context are flagged: a stored
+//     context outlives the request that created it (the documented
+//     exception, the coalescing flight, carries a suppression).
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc:  "flag context.Background/TODO below the public surface and contexts stored in structs",
+	Run:  runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return // entry points mint the root context by definition
+	}
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				ctxCheckRootCall(pass, n, stack)
+			case *ast.StructType:
+				ctxCheckStoredField(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// ctxCheckRootCall flags context.Background()/TODO() except inside the
+// nil-guard defaulting idiom.
+func ctxCheckRootCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	fn := calleeFunc(pass, call.Fun)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	name := fn.Name()
+	if name != "Background" && name != "TODO" {
+		return
+	}
+	if isNilGuardDefault(pass, call, stack) {
+		return
+	}
+	pass.Reportf(call.Pos(), "context.%s() below the public surface: thread the caller's ctx instead (or guard `if ctx == nil` to default one)", name)
+}
+
+// isNilGuardDefault recognizes
+//
+//	if ctx == nil {
+//		ctx = context.Background()
+//	}
+//
+// — the call must be the sole RHS of an assignment to x, the assignment
+// a direct statement of an if-body whose condition is `x == nil` (or
+// `nil == x`) over the same object.
+func isNilGuardDefault(pass *Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	assign, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || assign.Rhs[0] != call {
+		return false
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, ok := stack[len(stack)-2].(*ast.BlockStmt); !ok {
+		return false
+	}
+	ifStmt, ok := stack[len(stack)-3].(*ast.IfStmt)
+	if !ok || ifStmt.Body != stack[len(stack)-2] {
+		return false
+	}
+	bin, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != "==" {
+		return false
+	}
+	var condIdent *ast.Ident
+	if isNilIdent(pass, bin.Y) {
+		condIdent, _ = bin.X.(*ast.Ident)
+	} else if isNilIdent(pass, bin.X) {
+		condIdent, _ = bin.Y.(*ast.Ident)
+	}
+	if condIdent == nil {
+		return false
+	}
+	lo, co := pass.Info.ObjectOf(lhs), pass.Info.ObjectOf(condIdent)
+	return lo != nil && lo == co
+}
+
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.Info.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+// ctxCheckStoredField flags struct fields whose type is
+// context.Context.
+func ctxCheckStoredField(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		pass.Reportf(field.Pos(), "context.Context stored in a struct outlives its request: pass ctx as a parameter instead")
+	}
+}
+
+// isContextType reports whether t is exactly context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetCriticalSuffixes names the packages whose results must be
+// bit-identical at any worker count and across runs (DESIGN.md §§4,11):
+// the engine and pool (deterministic scheduling), placement (search +
+// cost), trace (kernel construction, binary format), plus the packages
+// whose outputs are reproducibility contracts in their own right — eval
+// (experiment tables), sim (replay oracle), rtm (shift physics,
+// seeded fault model), and offsetstone (seeded workload generation).
+// Matched by import-path suffix so analyzer golden tests can pose as a
+// critical package.
+var DetCriticalSuffixes = []string{
+	"internal/engine",
+	"internal/pool",
+	"internal/placement",
+	"internal/trace",
+	"internal/eval",
+	"internal/sim",
+	"internal/rtm",
+	"internal/offsetstone",
+}
+
+// DetCheck flags nondeterminism sources in determinism-critical
+// packages:
+//
+//   - wall-clock reads (time.Now/Since/Until) — results must be a pure
+//     function of inputs and seeds, never of elapsed time;
+//   - the global math/rand generator (shared, lock-ordered by
+//     scheduling) — all randomness must flow through an explicitly
+//     seeded *rand.Rand;
+//   - map iteration whose order can leak into an outcome: a range over
+//     a map whose body appends, sends, returns, or breaks is
+//     order-sensitive (iterate a sorted key slice instead);
+//   - select over multiple value-binding receives — which result wins
+//     is scheduler-chosen (a lone result channel raced against
+//     ctx.Done() is the sanctioned shape and stays quiet).
+var DetCheck = &Analyzer{
+	Name: "detcheck",
+	Doc:  "flag nondeterminism sources (clock, global rand, map-order, racy select) in determinism-critical packages",
+	Run:  runDetCheck,
+}
+
+func runDetCheck(pass *Pass) {
+	critical := false
+	for _, s := range DetCriticalSuffixes {
+		if pass.Path == s || strings.HasSuffix(pass.Path, "/"+s) {
+			critical = true
+			break
+		}
+	}
+	if !critical {
+		return
+	}
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				detCheckCall(pass, n)
+			case *ast.RangeStmt:
+				detCheckMapRange(pass, n, stack)
+			case *ast.SelectStmt:
+				detCheckSelect(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// detCheckCall flags clock reads and global math/rand use.
+func detCheckCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call.Fun)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch pkg {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s in a determinism-critical package: results must not depend on the clock", name)
+		}
+	case "math/rand", "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			return // methods on an explicit *rand.Rand are deterministic per seed
+		}
+		switch name {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return // constructors taking an explicit seed/source
+		}
+		pass.Reportf(call.Pos(), "global %s.%s: use an explicitly seeded *rand.Rand so results are a function of the seed", pathBase(pkg), name)
+	}
+}
+
+// detCheckMapRange flags ranges over maps whose body contains an
+// order-sensitive construct. Pure commutative accumulation (sums,
+// counters, map-keyed writes) ranges freely; anything that records,
+// emits, or exits in encounter order depends on randomized map order.
+// One laundering pattern is recognized and passes: a slice appended to
+// in the loop whose base expression is later handed to a sort/slices
+// call in the same function ("collect then sort").
+func detCheckMapRange(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	sensitive := "" // worst non-append construct found
+	var appendTargets []string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sensitive != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(n.Args) > 0 {
+					appendTargets = append(appendTargets, types.ExprString(n.Args[0]))
+				}
+			}
+		case *ast.SendStmt:
+			sensitive = "a channel send"
+			return false
+		case *ast.ReturnStmt:
+			sensitive = "a return"
+			return false
+		case *ast.BranchStmt:
+			if n.Tok.String() == "break" {
+				sensitive = "a break"
+				return false
+			}
+		case *ast.FuncLit:
+			return false // a deferred/assigned closure runs outside this iteration order
+		}
+		return true
+	})
+	if sensitive == "" && len(appendTargets) > 0 && !allSortedAfter(pass, rng, stack, appendTargets) {
+		sensitive = "an append"
+	}
+	if sensitive != "" {
+		pass.Reportf(rng.Pos(), "map iteration order reaches %s: iterate sorted keys so the result is deterministic", sensitive)
+	}
+}
+
+// allSortedAfter reports whether every append target collected in the
+// map-range loop is later (in the enclosing function, after the loop)
+// passed to a sort or slices call — the collect-then-sort laundering
+// that restores a deterministic order. The match is textual on the
+// expression, so an aliased sort does not count and needs an explicit
+// suppression.
+func allSortedAfter(pass *Pass, rng *ast.RangeStmt, stack []ast.Node, targets []string) bool {
+	var body *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+	sorted := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(pass, call.Fun)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			sorted[types.ExprString(arg)] = true
+		}
+		return true
+	})
+	for _, t := range targets {
+		if !sorted[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// detCheckSelect flags selects where two or more cases bind a received
+// value: whichever channel is ready first wins, so the bound result is
+// schedule-dependent.
+func detCheckSelect(pass *Pass, sel *ast.SelectStmt) {
+	binding := 0
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		if assign, ok := comm.Comm.(*ast.AssignStmt); ok {
+			if len(assign.Rhs) == 1 {
+				if _, ok := assign.Rhs[0].(*ast.UnaryExpr); ok {
+					binding++
+				}
+			}
+		}
+	}
+	if binding >= 2 {
+		pass.Reportf(sel.Pos(), "select binds results from %d channels: the winner is scheduler-chosen, so downstream state depends on timing", binding)
+	}
+}
+
+// calleeFunc resolves a call target to its *types.Func, for both plain
+// and selector calls. Returns nil for builtins, type conversions, and
+// indirect calls through variables.
+func calleeFunc(pass *Pass, fun ast.Expr) *types.Func {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.ParenExpr:
+		return calleeFunc(pass, fun.X)
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		return calleeFunc(pass, fun.X)
+	}
+	return nil
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

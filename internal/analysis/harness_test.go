@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The golden harness mirrors analysistest: testdata packages carry
+// expectations as comments of the form
+//
+//	// want "substring" ["substring" ...]
+//
+// on the line the diagnostic is reported at. Every reported diagnostic
+// must be matched by a want on its line (substring match against
+// "analyzer: message"), and every want must be consumed by exactly one
+// diagnostic. A clean file simply has no want comments.
+
+var wantRE = regexp.MustCompile(`"([^"]*)"`)
+
+type want struct {
+	file string
+	line int
+	pat  string
+	hit  bool
+}
+
+// collectWants extracts the expectations from a loaded package's
+// comments.
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, m := range ms {
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pat: m[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads testdata/<dir> under the fake import path asPath,
+// runs the analyzer (plus the suppress meta-check RunPackage always
+// includes), and diffs diagnostics against the want comments.
+func runGolden(t *testing.T, a *Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", dir), asPath)
+	if err != nil {
+		t.Fatalf("loading testdata/%s: %v", dir, err)
+	}
+	diags := RunPackage(pkg, []*Analyzer{a})
+	wants := collectWants(t, pkg)
+
+	var unexpected []string
+	for _, d := range diags {
+		got := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(got, w.pat) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unexpected = append(unexpected, fmt.Sprintf("%s: %s", d.Pos, got))
+		}
+	}
+	sort.Strings(unexpected)
+	for _, u := range unexpected {
+		t.Errorf("unexpected diagnostic:\n  %s", u)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing diagnostic: %s:%d: want %q", w.file, w.line, w.pat)
+		}
+	}
+}
+
+func TestDetCheckGolden(t *testing.T) {
+	// The fake import path makes the testdata package
+	// determinism-critical.
+	runGolden(t, DetCheck, "detcheck", "repro/internal/engine")
+}
+
+func TestDetCheckSuppressed(t *testing.T) {
+	runGolden(t, DetCheck, "detcheck_ok", "repro/internal/placement")
+}
+
+func TestDetCheckNonCriticalPackageIsExempt(t *testing.T) {
+	// Identical nondeterminism sources, loaded under a path outside the
+	// critical set: zero diagnostics expected (the files carry no
+	// wants).
+	runGolden(t, DetCheck, "detcheck_exempt", "repro/internal/report")
+}
+
+func TestCtxCheckGolden(t *testing.T) {
+	runGolden(t, CtxCheck, "ctxcheck", "repro/internal/service")
+}
+
+func TestCtxCheckSuppressed(t *testing.T) {
+	runGolden(t, CtxCheck, "ctxcheck_ok", "repro/internal/service")
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	runGolden(t, HotAlloc, "hotalloc", "repro/internal/kernel")
+}
+
+func TestHotAllocSuppressed(t *testing.T) {
+	runGolden(t, HotAlloc, "hotalloc_ok", "repro/internal/kernel")
+}
+
+func TestNoPanicGolden(t *testing.T) {
+	runGolden(t, NoPanic, "nopanic", "repro/internal/lib")
+}
+
+func TestNoPanicSuppressed(t *testing.T) {
+	runGolden(t, NoPanic, "nopanic_ok", "repro/internal/lib")
+}
+
+func TestNoPanicMainPackageIsExempt(t *testing.T) {
+	runGolden(t, NoPanic, "nopanic_main", "repro/cmd/tool")
+}
+
+func TestMalformedSuppressions(t *testing.T) {
+	// The suppress meta-check runs with any analyzer; its diagnostics
+	// land on the directive lines, so they are asserted directly.
+	pkg, err := LoadDir(filepath.Join("testdata", "suppress"), "repro/internal/lib")
+	if err != nil {
+		t.Fatalf("loading testdata/suppress: %v", err)
+	}
+	diags := RunPackage(pkg, []*Analyzer{NoPanic})
+	wantSubstrings := []string{
+		"suppression for nopanic is missing its reason",
+		"suppression names unknown analyzer nosuchcheck",
+		"malformed rtmlint directive",
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wantSubstrings), diags)
+	}
+	for i, sub := range wantSubstrings {
+		if diags[i].Analyzer != "suppress" || !strings.Contains(diags[i].Message, sub) {
+			t.Errorf("diagnostic %d = %q, want analyzer suppress containing %q", i, diags[i], sub)
+		}
+	}
+}
+
+func TestSuppressionParsing(t *testing.T) {
+	cases := []struct {
+		text         string
+		name, reason string
+		ok           bool
+	}{
+		{"//rtmlint:nopanic-ok invariant guard", "nopanic", "invariant guard", true},
+		{"//rtmlint:detcheck-ok   spaced   reason", "detcheck", "spaced   reason", true},
+		{"//rtmlint:nopanic-ok", "nopanic", "", true}, // missing reason: parses, never suppresses
+		{"//rtmlint:nopanic", "", "", true},           // malformed: no -ok
+		{"// rtmlint:nopanic-ok x", "", "", false},    // space breaks the directive
+		{"// plain comment", "", "", false},
+	}
+	for _, c := range cases {
+		name, reason, ok := parseSuppression(&ast.Comment{Text: c.text})
+		if name != c.name || reason != c.reason || ok != c.ok {
+			t.Errorf("parseSuppression(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, name, reason, ok, c.name, c.reason, c.ok)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathDirective marks a function as allocation-free: the CI bench
+// gate holds its allocs/op at zero (DESIGN.md §8), and HotAlloc turns
+// that runtime contract into a compile-time diagnostic with file:line.
+const HotPathDirective = "//rtm:hotpath"
+
+// HotAlloc checks functions carrying a //rtm:hotpath doc directive for
+// allocation-introducing constructs:
+//
+//   - make / new / slice, map, and &T{} composite literals (value
+//     struct and array literals stay on the stack and pass);
+//   - append, unless in the self-append reuse idiom `x = append(x, …)`
+//     (amortized growth against a retained buffer);
+//   - string ↔ []byte conversions, which copy (the compiler-recognized
+//     no-copy map lookup `m[string(b)]` passes);
+//   - non-constant string concatenation;
+//   - interface boxing: a concrete non-pointer-shaped value passed to
+//     an interface parameter heap-allocates its box (this is what makes
+//     a stray fmt call in a hot loop expensive);
+//   - func literals (closure capture), go, and defer statements.
+//
+// The check is intraprocedural and syntactic: it cannot see escape
+// analysis, so a flagged construct the compiler provably keeps on the
+// stack — or one confined to a cold error branch — carries a
+// //rtmlint:hotalloc-ok suppression with the justification.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation-introducing constructs in //rtm:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// //rtm:hotpath directive (alone or with a trailing note).
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == HotPathDirective || strings.HasPrefix(c.Text, HotPathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "func literal in hot path: closures capturing variables allocate")
+			return false // its body is the closure's problem, not this path's
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in hot path: spawning allocates a goroutine")
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot path: deferred calls in loops allocate and delay release")
+		case *ast.CompositeLit:
+			hotCompositeLit(pass, n, stack)
+		case *ast.CallExpr:
+			hotCall(pass, n, stack)
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if t := pass.TypeOf(n); t != nil && isString(t) && !isConstExpr(pass, n) {
+					pass.Reportf(n.Pos(), "string concatenation in hot path allocates the result")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// hotCompositeLit flags slice/map literals and &T{} (heap escape);
+// value struct and array literals pass.
+func hotCompositeLit(pass *Pass, lit *ast.CompositeLit, stack []ast.Node) {
+	if len(stack) > 0 {
+		if parent, ok := stack[len(stack)-1].(*ast.CompositeLit); ok && parent != nil {
+			return // inner literal of an already-reported outer one
+		}
+		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+			pass.Reportf(u.Pos(), "&%s{…} in hot path escapes to the heap", typeLabel(pass, lit))
+			return
+		}
+	}
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal in hot path allocates its backing array")
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal in hot path allocates")
+	}
+}
+
+// hotCall dispatches the call-shaped checks: builtins, conversions, and
+// interface boxing of arguments.
+func hotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make in hot path allocates: hoist to setup and reuse")
+			case "new":
+				pass.Reportf(call.Pos(), "new in hot path allocates: hoist to setup and reuse")
+			case "append":
+				if !isSelfAppend(call, stack) {
+					pass.Reportf(call.Pos(), "append to a fresh slice in hot path allocates: use the `x = append(x, …)` reuse idiom on a retained buffer")
+				}
+			}
+			return
+		}
+	}
+	// string ↔ []byte conversions.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, pass.TypeOf(call.Args[0])
+		if to != nil && from != nil {
+			s2b := isString(from) && isByteSlice(to)
+			b2s := isByteSlice(from) && isString(to)
+			if b2s && isMapIndexRead(call, stack) {
+				return // m[string(b)] is the compiler's no-copy lookup
+			}
+			if s2b || b2s {
+				pass.Reportf(call.Pos(), "%s conversion in hot path copies", convLabel(s2b))
+			}
+		}
+		return
+	}
+	// Interface boxing of arguments.
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(pass, arg) || pointerShaped(at) || isConstExpr(pass, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes it on the heap", at.String())
+	}
+}
+
+// isSelfAppend recognizes `x = append(x, …)` — single-assign whose sole
+// RHS is this append and whose LHS prints identically to the first
+// argument.
+func isSelfAppend(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) == 0 || len(stack) == 0 {
+		return false
+	}
+	assign, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || assign.Rhs[0] != call {
+		return false
+	}
+	return types.ExprString(assign.Lhs[0]) == types.ExprString(call.Args[0])
+}
+
+// isMapIndexRead reports whether conv is the index operand of a map
+// read (not the target of an assignment).
+func isMapIndexRead(conv ast.Expr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	idx, ok := stack[len(stack)-1].(*ast.IndexExpr)
+	if !ok || idx.Index != conv {
+		return false
+	}
+	if len(stack) >= 2 {
+		if assign, ok := stack[len(stack)-2].(*ast.AssignStmt); ok {
+			for _, lhs := range assign.Lhs {
+				if lhs == idx {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func paramType(sig *types.Signature, i int, hasEllipsis bool) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		sl, ok := last.(*types.Slice)
+		if !ok {
+			return nil
+		}
+		if hasEllipsis {
+			return last // arg is passed as the slice itself, no boxing per element
+		}
+		return sl.Elem()
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// pointerShaped reports whether values of t fit in an interface's data
+// word without an allocation.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isUntypedNil(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// isConstExpr reports whether the expression has a compile-time value
+// (constants box into read-only statics, not per-call heap objects).
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func convLabel(s2b bool) string {
+	if s2b {
+		return "string→[]byte"
+	}
+	return "[]byte→string"
+}
+
+func typeLabel(pass *Pass, lit *ast.CompositeLit) string {
+	if lit.Type == nil {
+		return "T"
+	}
+	return types.ExprString(lit.Type)
+}

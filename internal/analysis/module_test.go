@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestModuleIsLintClean runs the full suite over the enclosing module —
+// the same verdict as `go run ./cmd/rtmlint ./...` — so tier-1
+// `go test ./...` enforces the invariant catalog without needing the
+// CI lint job. A finding here means either fix the code or suppress it
+// with a reasoned //rtmlint:<analyzer>-ok annotation.
+func TestModuleIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load(loader.ModuleRoot, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages — pattern expansion is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, d := range RunPackage(pkg, Analyzers()) {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestSeededViolationFails writes a throwaway module with a
+// determinism violation in a critical package and proves the suite
+// catches it end to end (loader → type check → analyzer → diagnostic):
+// the drill for "a single time.Now() would ship silently" staying
+// impossible.
+func TestSeededViolationFails(t *testing.T) {
+	root := t.TempDir()
+	pkgDir := filepath.Join(root, "internal", "engine")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(filepath.Join(root, "go.mod"), "module example.test/seeded\n\ngo 1.23\n")
+	write(filepath.Join(pkgDir, "engine.go"), `package engine
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading seeded module: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	diags := RunPackage(pkgs[0], Analyzers())
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the seeded time.Now finding:\n%v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "detcheck" {
+		t.Fatalf("diagnostic %v, want a detcheck finding", diags[0])
+	}
+}

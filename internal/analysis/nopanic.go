@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic forbids process-killing escapes in library code: panic,
+// log.Fatal*/log.Panic*, and os.Exit. Library errors must flow back as
+// error values — the server's failure-containment story (DESIGN.md
+// §13) depends on no callee being able to take the process down, and
+// PR 8 converted the last construction panics to errors; this keeps
+// them out. Package main (the cmd/ binaries) is exempt: a CLI's
+// top-level error handler is exactly where Fatal and Exit belong.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic/log.Fatal/os.Exit in non-main library code",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					pass.Reportf(call.Pos(), "panic in library code: return an error instead (callers contain failures, they don't crash)")
+					return true
+				}
+			}
+			fn := calleeFunc(pass, call.Fun)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch pkg, name := fn.Pkg().Path(), fn.Name(); {
+			case pkg == "log" && (strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")):
+				pass.Reportf(call.Pos(), "log.%s in library code kills the process: return an error instead", name)
+			case pkg == "os" && name == "Exit":
+				pass.Reportf(call.Pos(), "os.Exit in library code: return an error and let main decide the exit code")
+			}
+			return true
+		})
+	}
+}

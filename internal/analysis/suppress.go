@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression grammar: a line comment of the form
+//
+//	//rtmlint:<analyzer>-ok <reason>
+//
+// placed on the flagged line, or alone on the line immediately above
+// it, suppresses that analyzer's diagnostics for that line. The reason
+// is mandatory and free-form — it is the reviewer-facing justification
+// — and a suppression without one suppresses nothing and is reported
+// by CheckSuppressions. The directive spelling is strict: no space
+// before "rtmlint:" (matching Go directive convention, so gofmt leaves
+// it alone).
+const suppressPrefix = "rtmlint:"
+
+// A suppression is one parsed //rtmlint: directive.
+type suppression struct {
+	name   string // analyzer name ("detcheck", ...)
+	reason string
+	pos    token.Position
+}
+
+// suppressions indexes parsed directives by (file, line).
+type suppressions struct {
+	byLine map[lineKey][]suppression
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// parseSuppression decodes one comment, returning ok=false when the
+// comment is not an rtmlint directive at all. Malformed directives
+// (missing "-ok", empty reason) return ok=true with the defect encoded
+// as an empty name or reason for CheckSuppressions to report.
+func parseSuppression(c *ast.Comment) (name, reason string, ok bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, "//"+suppressPrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, "//"+suppressPrefix)
+	// Split "<name>-ok <reason>".
+	head, reason, _ := strings.Cut(rest, " ")
+	name, found := strings.CutSuffix(head, "-ok")
+	if !found {
+		return "", "", true // malformed: not the -ok form
+	}
+	return name, strings.TrimSpace(reason), true
+}
+
+// collectSuppressions indexes every well-formed directive in the files.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: make(map[lineKey][]suppression)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseSuppression(c)
+				if !ok || name == "" || reason == "" {
+					continue // malformed directives never suppress
+				}
+				pos := fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				s.byLine[k] = append(s.byLine[k], suppression{name, reason, pos})
+			}
+		}
+	}
+	return s
+}
+
+// covers reports whether a directive for analyzer name is in scope for
+// a diagnostic at pos: same line, or the line immediately above.
+func (s *suppressions) covers(name string, pos token.Position) bool {
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, sup := range s.byLine[lineKey{pos.Filename, line}] {
+			if sup.name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CheckSuppressions reports malformed //rtmlint: directives: unknown
+// analyzer names (typos silently suppress nothing — surface them) and
+// missing reasons (every suppression must justify itself). Reported
+// under the pseudo-analyzer name "suppress".
+func CheckSuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	report := func(c *ast.Comment, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      fset.Position(c.Pos()),
+			Analyzer: "suppress",
+			Message:  msg,
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseSuppression(c)
+				switch {
+				case !ok:
+					continue
+				case name == "":
+					report(c, "malformed rtmlint directive: want //rtmlint:<analyzer>-ok <reason>")
+				case !known[name]:
+					report(c, "rtmlint suppression names unknown analyzer "+name)
+				case reason == "":
+					report(c, "rtmlint suppression for "+name+" is missing its reason")
+				}
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,44 @@
+// Package svc exercises ctxcheck's positive cases in a library (non-
+// main) package.
+package svc
+
+import "context"
+
+type job struct {
+	name string
+	ctx  context.Context // want "ctxcheck: context.Context stored in a struct"
+}
+
+func freshRootBelowSurface(q string) error {
+	ctx := context.Background() // want "ctxcheck: context.Background"
+	return run(ctx, q)
+}
+
+func todoBelowSurface(q string) error {
+	return run(context.TODO(), q) // want "ctxcheck: context.TODO"
+}
+
+func detachesInsteadOfThreading(ctx context.Context, q string) error {
+	return run(context.Background(), q) // want "ctxcheck: context.Background"
+}
+
+// The nil-guard defaulting idiom is the sanctioned shape and stays
+// quiet.
+func nilGuardDefaultIsFine(ctx context.Context, q string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return run(ctx, q)
+}
+
+func threadingIsFine(ctx context.Context, q string) error {
+	return run(ctx, q)
+}
+
+func run(ctx context.Context, q string) error {
+	<-ctx.Done()
+	_ = q
+	return ctx.Err()
+}
+
+var _ = job{}

@@ -1,0 +1,21 @@
+// Package svc demonstrates honored ctxcheck suppressions.
+package svc
+
+import "context"
+
+type flight struct {
+	//rtmlint:ctxcheck-ok documented coalescing-flight exception: the flight outlives any single waiter
+	base context.Context
+}
+
+func compatWrapper(q string) error {
+	//rtmlint:ctxcheck-ok legacy compat wrapper is the public surface; no caller context exists
+	return run(context.Background(), q)
+}
+
+func run(ctx context.Context, q string) error {
+	_ = q
+	return ctx.Err()
+}
+
+var _ = flight{}

@@ -1,0 +1,98 @@
+// Package det exercises detcheck's positive cases; the harness loads
+// it as repro/internal/engine, a determinism-critical path.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clockFeedsResult() int64 {
+	start := time.Now() // want "detcheck: time.Now"
+	_ = start
+	return time.Since(start).Nanoseconds() // want "detcheck: time.Since"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "detcheck: global rand.Intn"
+}
+
+func seededRandIsFine(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func mapOrderLeaksIntoSlice(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "detcheck: map iteration order reaches an append"
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapOrderLeaksViaEarlyReturn(m map[int]string) string {
+	for _, v := range m { // want "detcheck: map iteration order reaches a return"
+		if len(v) > 3 {
+			return v
+		}
+	}
+	return ""
+}
+
+func mapOrderLeaksViaBreak(m map[int]int) int {
+	best := -1
+	for k := range m { // want "detcheck: map iteration order reaches a break"
+		if k > 100 {
+			best = k
+			break
+		}
+	}
+	return best
+}
+
+func mapOrderLeaksIntoChannel(m map[int]int, ch chan int) {
+	for k := range m { // want "detcheck: map iteration order reaches a channel send"
+		ch <- k
+	}
+}
+
+// Commutative accumulation is order-independent and stays quiet.
+func mapSumIsFine(m map[int]int64) int64 {
+	var total int64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// The collect-then-sort laundering restores determinism and stays
+// quiet.
+func sortedKeysAreFine(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func racySelect(a, b chan int) int {
+	select { // want "detcheck: select binds results from 2 channels"
+	case x := <-a:
+		return x
+	case y := <-b:
+		return y
+	}
+}
+
+// One result channel raced against cancellation is the sanctioned
+// shape.
+func resultOrCancelIsFine(res chan int, done chan struct{}) int {
+	select {
+	case x := <-res:
+		return x
+	case <-done:
+		return -1
+	}
+}

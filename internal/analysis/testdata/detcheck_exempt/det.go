@@ -1,0 +1,20 @@
+// Package det carries nondeterminism sources but is loaded under a
+// non-critical import path: detcheck must not report anything.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time { return time.Now() }
+
+func globalRand() int { return rand.Intn(10) }
+
+func mapOrder(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Package det demonstrates honored detcheck suppressions: the same
+// constructs as the positive suite, each with a reasoned annotation,
+// producing zero diagnostics.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func suppressedClock() time.Time {
+	//rtmlint:detcheck-ok progress timestamps are display-only and never feed a result
+	return time.Now()
+}
+
+func suppressedGlobalRand() int {
+	return rand.Intn(10) //rtmlint:detcheck-ok test fixture shuffling, order never observed
+}
+
+func suppressedMapOrder(m map[int]int) []int {
+	var out []int
+	//rtmlint:detcheck-ok order laundered by the caller's sort, which the textual match cannot see
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

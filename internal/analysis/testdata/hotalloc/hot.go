@@ -1,0 +1,55 @@
+// Package hot exercises hotalloc: only functions annotated
+// //rtm:hotpath are checked.
+package hot
+
+import "fmt"
+
+type point struct{ x, y int }
+
+// score is a hot inner loop.
+//
+//rtm:hotpath
+func score(buf []int, n int) int {
+	s := make([]int, n)           // want "hotalloc: make in hot path"
+	p := new(point)               // want "hotalloc: new in hot path"
+	q := &point{x: 1}             // want "hotalloc: &point{…} in hot path escapes"
+	lit := []int{1, 2, 3}         // want "hotalloc: slice literal in hot path"
+	m := map[int]int{}            // want "hotalloc: map literal in hot path"
+	fresh := append(buf[:0:0], 1) // want "hotalloc: append to a fresh slice"
+	buf = append(buf, n)          // self-append reuse idiom: fine
+	v := point{x: 2}              // value struct literal stays on the stack: fine
+	return len(s) + p.x + q.x + len(lit) + len(m) + len(fresh) + len(buf) + v.x
+}
+
+//rtm:hotpath
+func conversions(s string, b []byte, idx map[string]int) (int, string) {
+	bs := []byte(s)     // want "hotalloc: string→[]byte conversion"
+	ss := string(b)     // want "hotalloc: []byte→string conversion"
+	n := idx[string(b)] // compiler-recognized no-copy map lookup: fine
+	return len(bs) + n, ss
+}
+
+//rtm:hotpath
+func boxingAndClosures(v int64, err error) string {
+	msg := fmt.Sprintf("v=%d", v)  // want "hotalloc: passing int64 to interface parameter boxes it"
+	f := func() int64 { return v } // want "hotalloc: func literal in hot path"
+	defer release()                // want "hotalloc: defer in hot path"
+	_ = fmt.Sprint(err)            // error is already an interface: no boxing reported
+	_ = fmt.Sprint("const")        // constants land in read-only statics: fine
+	_ = f
+	return msg
+}
+
+//rtm:hotpath
+func concat(a, b string) string {
+	return a + b // want "hotalloc: string concatenation in hot path"
+}
+
+// unannotated is the identical code without the directive: never
+// checked.
+func unannotated(n int) []int {
+	s := make([]int, n)
+	return append(s, n)
+}
+
+func release() {}

@@ -1,0 +1,27 @@
+// Package hot demonstrates honored hotalloc suppressions.
+package hot
+
+// replay is hot; the closure is provably non-escaping and the bench
+// gate pins 0 allocs/op, so the finding is suppressed with the
+// justification.
+//
+//rtm:hotpath
+func replay(xs []int) int64 {
+	var total int64
+	//rtmlint:hotalloc-ok closure never escapes, stays on the stack; bench gate pins 0 allocs/op
+	add := func(v int) { total += int64(v) }
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+// grow is hot; the make only fires on the cold resize path.
+//
+//rtm:hotpath
+func grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n) //rtmlint:hotalloc-ok cold resize path, amortized to zero by reuse
+	}
+	return buf[:n]
+}

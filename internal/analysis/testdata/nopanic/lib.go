@@ -1,0 +1,42 @@
+// Package lib exercises nopanic in a library package.
+package lib
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+func construct(n int) (int, error) {
+	if n < 0 {
+		panic("negative") // want "nopanic: panic in library code"
+	}
+	return n, nil
+}
+
+func fatal(err error) {
+	log.Fatalf("boom: %v", err) // want "nopanic: log.Fatalf in library code"
+}
+
+func exit() {
+	os.Exit(1) // want "nopanic: os.Exit in library code"
+}
+
+// Returning errors is the sanctioned shape.
+func constructed(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n, nil
+}
+
+// recover and error wrapping are fine; only the killers are flagged.
+func contained(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errors.New("contained")
+		}
+	}()
+	f()
+	return nil
+}

@@ -1,0 +1,18 @@
+// Command main shows that package main is exempt from nopanic: a CLI's
+// top-level error handler is where Fatal and Exit belong.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		log.Fatal("usage: main <arg>")
+	}
+	if os.Args[1] == "boom" {
+		panic("demo")
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,10 @@
+// Package lib demonstrates an honored nopanic suppression.
+package lib
+
+func mustAligned(off int) int {
+	if off%8 != 0 {
+		//rtmlint:nopanic-ok unreachable by construction: offsets are multiples of 8 from the builder
+		panic("unaligned offset")
+	}
+	return off / 8
+}

@@ -1,0 +1,20 @@
+// Package lib exercises the suppress meta-check: malformed directives
+// are diagnostics in their own right (asserted directly by
+// TestMalformedSuppressions, not via want comments — the diagnostics
+// land on the directive lines themselves).
+package lib
+
+func missingReason(n int) int {
+	//rtmlint:nopanic-ok
+	return n
+}
+
+func unknownAnalyzer(n int) int {
+	//rtmlint:nosuchcheck-ok some reason
+	return n
+}
+
+func noOkSuffix(n int) int {
+	//rtmlint:nopanic
+	return n
+}

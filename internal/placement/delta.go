@@ -196,6 +196,8 @@ func (e *DeltaEvaluator) CurrentOrder() []int {
 
 // SwapDelta returns the cost change of exchanging the variables at
 // offsets i and j, without applying it. O(freq(u) + freq(v)).
+//
+//rtm:hotpath
 func (e *DeltaEvaluator) SwapDelta(i, j int) int64 {
 	if i == j {
 		return 0
@@ -223,6 +225,8 @@ func (e *DeltaEvaluator) SwapDelta(i, j int) int64 {
 
 // Swap applies the swap of offsets i and j, updating the cost
 // incrementally.
+//
+//rtm:hotpath
 func (e *DeltaEvaluator) Swap(i, j int) {
 	e.cost += e.SwapDelta(i, j)
 	u, v := e.order[i], e.order[j]
@@ -234,6 +238,8 @@ func (e *DeltaEvaluator) Swap(i, j int) {
 // [i, j], without applying it. Distances between two interior or two
 // exterior variables are preserved, so only transitions crossing the
 // segment boundary contribute; they are enumerated from the smaller side.
+//
+//rtm:hotpath
 func (e *DeltaEvaluator) ReverseDelta(i, j int) int64 {
 	if i >= j {
 		return 0
@@ -253,6 +259,7 @@ func (e *DeltaEvaluator) ReverseDelta(i, j int) int64 {
 		}
 		return d
 	}
+	//rtmlint:hotalloc-ok closure never escapes ReverseDelta, so it stays on the stack; BenchmarkTwoOptDelta pins 0 allocs/op
 	cross := func(p int) {
 		v := e.order[p]
 		for k := e.start[v]; k < e.start[v+1]; k++ {
@@ -274,6 +281,8 @@ func (e *DeltaEvaluator) ReverseDelta(i, j int) int64 {
 
 // Reverse applies the reversal of segment [i, j], updating the cost
 // incrementally.
+//
+//rtm:hotpath
 func (e *DeltaEvaluator) Reverse(i, j int) {
 	e.cost += e.ReverseDelta(i, j)
 	for l, r := i, j; l < r; l, r = l+1, r-1 {
@@ -290,6 +299,8 @@ func (e *DeltaEvaluator) Reverse(i, j int) {
 // acceptance rule of the seed TwoOpt implementation, so search
 // trajectories match it move-for-move (TestTwoOptMatchesReference).
 // It reports whether any move was accepted.
+//
+//rtm:hotpath
 func (e *DeltaEvaluator) ImprovePass() bool {
 	improved := false
 	n := len(e.order)

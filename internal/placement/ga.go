@@ -135,6 +135,7 @@ type individual struct {
 // GA runs the paper's µ+λ genetic algorithm over complete placements for
 // the sequence into q DBCs. It is GAContext without cancellation.
 func GA(s *trace.Sequence, q int, cfg GAConfig) (*GAResult, error) {
+	//rtmlint:ctxcheck-ok legacy compat entry point without cancellation; no caller context exists
 	return GAContext(context.Background(), s, q, cfg)
 }
 

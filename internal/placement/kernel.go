@@ -402,6 +402,8 @@ func (k *CostKernel) Candidates() int { return len(k.cand) }
 // free). The lookup must cover every accessed variable (same
 // precondition as the replay path); unplaced entries are (-1, -1).
 // Allocation-free and safe to call concurrently with distinct lookups.
+//
+//rtm:hotpath
 func (k *CostKernel) Cost(l *Lookup) int64 {
 	dbc, off := l.DBCOf, l.Offset
 	var total int64
@@ -419,6 +421,8 @@ func (k *CostKernel) Cost(l *Lookup) int64 {
 // The table slices are hoisted into locals: dbc/off may alias arbitrary
 // memory as far as the compiler knows, and keeping the loads explicit
 // keeps the inner scan tight.
+//
+//rtm:hotpath
 func (k *CostKernel) varCost(dbc, off []int, v, dv int) int64 {
 	start, cand, wgt := k.start, k.cand, k.wgt
 	offv := off[v]
@@ -449,6 +453,8 @@ func (k *CostKernel) varCost(dbc, off []int, v, dv int) int64 {
 // losing placements after the few heaviest variable groups — varOrder
 // is weight-descending precisely so the partial sum grows fastest up
 // front.
+//
+//rtm:hotpath
 func (k *CostKernel) CostBounded(l *Lookup, bound int64) int64 {
 	dbc, off := l.DBCOf, l.Offset
 	var total int64
@@ -471,6 +477,8 @@ func (k *CostKernel) CostBounded(l *Lookup, bound int64) int64 {
 // result depends exclusively on the DBC's own ordered content — which
 // is what makes it safe to memoize by content (the GA's DBC cost cache)
 // — and the per-DBC results sum to Cost over any placement.
+//
+//rtm:hotpath
 func (k *CostKernel) CostDBC(l *Lookup, content []int) int64 {
 	dbc, off := l.DBCOf, l.Offset
 	var total int64

@@ -72,6 +72,8 @@ func (m *PortModel) SinglePort() bool { return m.ports == 1 }
 // returns the shift cost to the nearest port and the new offset. The
 // selection loop is rtm.ShiftEngine.Access's, including the
 // lowest-index tie-break.
+//
+//rtm:hotpath
 func (m *PortModel) step(off, x int) (cost, newOff int) {
 	bestCost := -1
 	bestOff := 0
@@ -131,6 +133,8 @@ func PortCost(s *trace.Sequence, p *Placement, m *PortModel) (int64, error) {
 // replay path. The lookup must cover every accessed variable; off must
 // have one entry per DBC of the lookup (callers thread a reusable
 // buffer through).
+//
+//rtm:hotpath
 func portCostLookup(s *trace.Sequence, l *Lookup, m *PortModel, off []int) int64 {
 	for i := range off {
 		off[i] = portCold
@@ -156,6 +160,8 @@ func portCostLookup(s *trace.Sequence, l *Lookup, m *PortModel, off []int) int64
 // above bound the value is only a certificate that cost >= bound.
 // Best-of-N searches (the multi-port random walk) use it to discard
 // losing placements early.
+//
+//rtm:hotpath
 func portCostLookupBounded(s *trace.Sequence, l *Lookup, m *PortModel, off []int, bound int64) int64 {
 	for i := range off {
 		off[i] = portCold
@@ -285,6 +291,8 @@ func NewPortDeltaEvaluator(s *trace.Sequence, order []int, m *PortModel) *PortDe
 // replay prices the current pos assignment by driving the model through
 // the compressed restricted stream — exactly one DBC's share of
 // portCostLookup. Allocation-free.
+//
+//rtm:hotpath
 func (e *PortDeltaEvaluator) replay() int64 {
 	var total int64
 	off := portCold
@@ -318,6 +326,8 @@ func (e *PortDeltaEvaluator) CurrentOrder() []int {
 
 // SwapDelta returns the cost change of exchanging the variables at
 // offsets i and j, without applying it.
+//
+//rtm:hotpath
 func (e *PortDeltaEvaluator) SwapDelta(i, j int) int64 {
 	if i == j {
 		return 0
@@ -330,6 +340,8 @@ func (e *PortDeltaEvaluator) SwapDelta(i, j int) int64 {
 }
 
 // Swap applies the swap of offsets i and j, updating the cost.
+//
+//rtm:hotpath
 func (e *PortDeltaEvaluator) Swap(i, j int) {
 	e.cost += e.SwapDelta(i, j)
 	u, v := e.order[i], e.order[j]
@@ -339,6 +351,8 @@ func (e *PortDeltaEvaluator) Swap(i, j int) {
 
 // ReverseDelta returns the cost change of reversing the offset segment
 // [i, j], without applying it.
+//
+//rtm:hotpath
 func (e *PortDeltaEvaluator) ReverseDelta(i, j int) int64 {
 	if i >= j {
 		return 0
@@ -355,6 +369,8 @@ func (e *PortDeltaEvaluator) ReverseDelta(i, j int) int64 {
 }
 
 // Reverse applies the reversal of segment [i, j], updating the cost.
+//
+//rtm:hotpath
 func (e *PortDeltaEvaluator) Reverse(i, j int) {
 	e.cost += e.ReverseDelta(i, j)
 	for l, r := i, j; l < r; l, r = l+1, r-1 {
@@ -371,6 +387,8 @@ func (e *PortDeltaEvaluator) Reverse(i, j int) {
 // acceptance rule as DeltaEvaluator.ImprovePass, so the port-aware
 // polish is the drop-in counterpart of the single-port one. It reports
 // whether any move was accepted.
+//
+//rtm:hotpath
 func (e *PortDeltaEvaluator) ImprovePass() bool {
 	improved := false
 	n := len(e.order)

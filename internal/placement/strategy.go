@@ -86,15 +86,17 @@ type Options struct {
 	// interrupts the search instead of being ignored. The engine batch
 	// layer and the session API thread their call context here; nil
 	// means run to completion.
+	//rtmlint:ctxcheck-ok Options is a per-call parameter object, not long-lived state; the call context rides it through the strategy interface
 	Context context.Context
 }
 
 // ctx returns the options' context, never nil.
 func (o Options) ctx() context.Context {
-	if o.Context != nil {
-		return o.Context
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return context.Background()
+	return ctx
 }
 
 // PortModelFor resolves the options' effective multi-port cost model

@@ -31,6 +31,7 @@ type flight struct {
 
 // flightGroup coalesces work by key.
 type flightGroup struct {
+	//rtmlint:ctxcheck-ok documented coalescing-flight exception (DESIGN.md §13): flights outlive any single waiter by design
 	base context.Context // server lifetime: drains cancel outstanding flights
 
 	mu      sync.Mutex

@@ -67,6 +67,7 @@ type Server struct {
 	group *flightGroup
 	gate  *drainGate
 
+	//rtmlint:ctxcheck-ok server-lifetime root for coalesced flights (DESIGN.md §13); cancelled exactly once at drain
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
@@ -106,6 +107,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Log == nil {
 		cfg.Log = log.Default()
 	}
+	//rtmlint:ctxcheck-ok the flight root is deliberately detached: a leader disconnect must not cancel followers (DESIGN.md §13)
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:        cfg,

@@ -93,6 +93,8 @@ func ParseAddressTrace(r io.Reader, wordBytes int) (*Sequence, error) {
 // parseAddr decodes a decimal or 0x-prefixed hex address without
 // allocating (strconv would need a string copy of the scanner's bytes).
 // Overflow past uint64 is rejected, matching strconv.ParseUint.
+//
+//rtm:hotpath
 func parseAddr(tok []byte) (uint64, error) {
 	base := uint64(10)
 	t := tok
@@ -101,7 +103,7 @@ func parseAddr(tok []byte) (uint64, error) {
 		t = tok[2:]
 	}
 	if len(t) == 0 {
-		return 0, fmt.Errorf("bad address %q", tok)
+		return 0, badAddr(tok)
 	}
 	var v uint64
 	for _, c := range t {
@@ -114,15 +116,21 @@ func parseAddr(tok []byte) (uint64, error) {
 		case c >= 'A' && c <= 'F':
 			d = uint64(c-'A') + 10
 		default:
-			return 0, fmt.Errorf("bad address %q", tok)
+			return 0, badAddr(tok)
 		}
 		if d >= base {
-			return 0, fmt.Errorf("bad address %q", tok)
+			return 0, badAddr(tok)
 		}
 		if v > (math.MaxUint64-d)/base {
-			return 0, fmt.Errorf("bad address %q", tok)
+			return 0, badAddr(tok)
 		}
 		v = v*base + d
 	}
 	return v, nil
+}
+
+// badAddr builds parseAddr's rejection error — kept out of the
+// annotated hot function so the allocation lives on the cold path.
+func badAddr(tok []byte) error {
+	return fmt.Errorf("bad address %q", tok)
 }

@@ -457,6 +457,8 @@ func (sc *SeqScanner) Name(v int) string {
 // Next implements AccessReader: it decodes the next access, or returns
 // io.EOF after the declared count once the fingerprint trailer
 // verifies. Errors are sticky.
+//
+//rtm:hotpath
 func (sc *SeqScanner) Next() (Access, error) {
 	if sc.err != nil {
 		return Access{}, sc.err
@@ -471,7 +473,7 @@ func (sc *SeqScanner) Next() (Access, error) {
 	}
 	v := sc.prevVar + unzigzag(tok>>1)
 	if v < 0 || v >= int64(sc.numVars) {
-		sc.err = fmt.Errorf("trace: binary payload: access to variable %d outside universe of %d", v, sc.numVars)
+		sc.err = badVariable(v, sc.numVars)
 		return Access{}, sc.err
 	}
 	a := Access{Var: int(v), Write: tok&1 != 0}
@@ -479,6 +481,12 @@ func (sc *SeqScanner) Next() (Access, error) {
 	sc.hash.mixAccess(a)
 	sc.remaining--
 	return a, nil
+}
+
+// badVariable builds the out-of-universe decode error — kept out of
+// the annotated hot scan so the boxing lives on the cold path.
+func badVariable(v int64, numVars int) error {
+	return fmt.Errorf("trace: binary payload: access to variable %d outside universe of %d", v, numVars)
 }
 
 // finish reads and verifies the fingerprint trailer exactly once.

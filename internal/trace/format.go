@@ -131,6 +131,8 @@ func Parse(name string, r io.Reader) (*Benchmark, error) {
 // nextField splits the first whitespace-separated field off line,
 // returning the field and the remainder — the zero-allocation core both
 // text parsers tokenize through.
+//
+//rtm:hotpath
 func nextField(line []byte) (field, rest []byte) {
 	i := 0
 	for i < len(line) && asciiSpace(line[i]) {
@@ -143,6 +145,7 @@ func nextField(line []byte) (field, rest []byte) {
 	return line[i:j], line[j:]
 }
 
+//rtm:hotpath
 func asciiSpace(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f'
 }

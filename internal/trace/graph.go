@@ -64,6 +64,7 @@ func BuildSubgraph(s *Sequence, member func(v int) bool) *Graph {
 
 func (g *Graph) buildAdj() {
 	g.adj = make([][]int, g.n)
+	//rtmlint:detcheck-ok iteration order never escapes: every adjacency list is sorted immediately below
 	for k := range g.w {
 		g.adj[k.u] = append(g.adj[k.u], k.v)
 		g.adj[k.v] = append(g.adj[k.v], k.u)

@@ -260,6 +260,7 @@ func PlaceTrace(s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	//rtmlint:ctxcheck-ok legacy compat wrapper is the public surface; no caller context exists
 	return l.Place(context.Background(), s, opts)
 }
 
@@ -283,6 +284,7 @@ func PlaceBenchmark(b *Benchmark, opts PlaceOptions) (*BenchmarkPlaceResult, err
 	if err != nil {
 		return nil, err
 	}
+	//rtmlint:ctxcheck-ok legacy compat wrapper is the public surface; no caller context exists
 	return l.PlaceBenchmark(context.Background(), b, opts)
 }
 
@@ -307,6 +309,7 @@ func Simulate(dev DeviceConfig, s *Sequence, p *Placement) (SimResult, error) {
 	if err != nil {
 		return SimResult{}, err
 	}
+	//rtmlint:ctxcheck-ok legacy compat wrapper is the public surface; no caller context exists
 	return l.SimulateOn(context.Background(), dev, s, p)
 }
 
@@ -322,6 +325,7 @@ func SimulateBenchmark(dev DeviceConfig, b *Benchmark, strategy Strategy, opts P
 	if err != nil {
 		return SimResult{}, err
 	}
+	//rtmlint:ctxcheck-ok legacy compat wrapper is the public surface; no caller context exists
 	return l.SimulateBenchmarkOn(context.Background(), dev, b, opts)
 }
 

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# lint.sh — run the exact checks the CI `lint` job runs, in the same
+# order: go vet, staticcheck, the in-repo rtmlint invariant suite
+# (DESIGN.md §14), and govulncheck. Run it from anywhere inside the
+# repo before pushing.
+#
+# go vet and rtmlint need only the Go toolchain and always run.
+# staticcheck and govulncheck are external tools: if a pinned binary is
+# missing we try `go install` (needs network); if that fails the step
+# is SKIPPED with a loud warning instead of failing the script, so the
+# mandatory checks still gate offline development. CI always runs all
+# four.
+set -u
+
+STATICCHECK_VERSION='2025.1.1'
+GOVULNCHECK_VERSION='v1.1.4'
+
+cd "$(dirname "$0")/.."
+
+failed=0
+skipped=()
+
+run_step() {
+    local name=$1
+    shift
+    echo "==> $name"
+    if ! "$@"; then
+        echo "FAIL: $name" >&2
+        failed=1
+    fi
+}
+
+# Resolve an external tool: prefer PATH (and GOBIN/GOPATH/bin), else
+# try to install the pinned version. Prints the binary path on
+# success.
+resolve_tool() {
+    local bin=$1 module=$2 version=$3
+    if command -v "$bin" >/dev/null 2>&1; then
+        command -v "$bin"
+        return 0
+    fi
+    local gobin
+    gobin=$(go env GOBIN)
+    [ -z "$gobin" ] && gobin="$(go env GOPATH)/bin"
+    if [ -x "$gobin/$bin" ]; then
+        echo "$gobin/$bin"
+        return 0
+    fi
+    echo "==> installing $module@$version" >&2
+    if go install "$module@$version" >/dev/null 2>&1 && [ -x "$gobin/$bin" ]; then
+        echo "$gobin/$bin"
+        return 0
+    fi
+    return 1
+}
+
+run_step "go vet" go vet ./...
+
+if sc=$(resolve_tool staticcheck honnef.co/go/tools/cmd/staticcheck "$STATICCHECK_VERSION"); then
+    run_step "staticcheck" "$sc" ./...
+else
+    skipped+=("staticcheck")
+fi
+
+rtmlint_bin=$(mktemp -d)/rtmlint
+trap 'rm -rf "$(dirname "$rtmlint_bin")"' EXIT
+run_step "build rtmlint" go build -o "$rtmlint_bin" ./cmd/rtmlint
+if [ -x "$rtmlint_bin" ]; then
+    run_step "rtmlint" "$rtmlint_bin" ./...
+fi
+
+if gvc=$(resolve_tool govulncheck golang.org/x/vuln/cmd/govulncheck "$GOVULNCHECK_VERSION"); then
+    run_step "govulncheck" "$gvc" ./...
+else
+    skipped+=("govulncheck")
+fi
+
+if [ "${#skipped[@]}" -gt 0 ]; then
+    echo >&2
+    echo "WARNING: skipped (tool unavailable and install failed): ${skipped[*]}" >&2
+    echo "WARNING: CI runs these — a clean run here does not guarantee a clean lint job." >&2
+fi
+
+if [ "$failed" -ne 0 ]; then
+    echo >&2
+    echo "lint failed" >&2
+    exit 1
+fi
+echo
+echo "lint OK${skipped:+ (with skips)}"
