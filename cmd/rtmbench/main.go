@@ -10,9 +10,11 @@
 //	rtmbench -exp all -timeout 10m   # abort cleanly via context
 //
 // Experiments: table1, fig4, fig5, fig6, latency, headline, longga,
-// ports (extension: shifts vs access-port count), portfolio (extension:
-// race every strategy per sequence), convergence (seeded vs cold GA
-// trajectories), tensor (LCTES'19-style contractions), all.
+// ports (extension: shifts vs access-port count), pareto (extension:
+// Table I configs × ports × fault rates, Pareto front over runtime,
+// energy and area), portfolio (extension: race every strategy per
+// sequence), convergence (seeded vs cold GA trajectories), tensor
+// (LCTES'19-style contractions), all.
 //
 // rtmbench is written entirely against the public racetrack.Lab session
 // API: one Lab runs every experiment through Lab.Run with a typed
@@ -26,6 +28,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, latency, headline, longga, ports, portfolio, convergence, tensor, all")
+		exp        = flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, latency, headline, longga, ports, pareto, portfolio, convergence, tensor, all")
 		full       = flag.Bool("full", false, "use the paper's full GA/RW budgets (slow: hours)")
 		portfolio  = flag.Bool("portfolio", false, "shorthand for -exp portfolio")
 		islands    = flag.Int("islands", 0, "GA islands for every experiment's GA cells (>1: island-model GA with ring elite migration)")
@@ -47,6 +50,8 @@ func main() {
 		bench      = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 31)")
 		csvDir     = flag.String("csv-dir", "", "also write each experiment's dataset as CSV into this directory")
 		maxPorts   = flag.Int("max-ports", 4, "port counts for the ports sweep")
+		paretoP    = flag.String("pareto-ports", "", "comma-separated port counts for the pareto sweep (default 1,2)")
+		faultRates = flag.String("fault-rates", "", "comma-separated position-error rates in [0,1) for the pareto sweep (default 0,0.01)")
 		ports      = flag.Int("ports", 0, "access ports per track for every experiment (0/1 = the paper's single-port model); the ports sweep ignores this and sweeps 1..max-ports")
 		workers    = flag.Int("workers", runtime.NumCPU(), "worker goroutines for the experiment engine and GA fitness evaluation")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
@@ -95,6 +100,16 @@ func main() {
 	}
 	if *ports > 0 {
 		cfg.Ports = *ports
+	}
+	paretoPorts, err := parseIntList(*paretoP)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtmbench: -pareto-ports:", err)
+		os.Exit(1)
+	}
+	rates, err := parseFloatList(*faultRates)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtmbench: -fault-rates:", err)
+		os.Exit(1)
 	}
 	labOpts := []racetrack.Option{}
 	if *workers > 0 {
@@ -145,6 +160,8 @@ func main() {
 			MaxPorts:    *maxPorts,
 			Generations: *longGen,
 			Benchmark:   *convBench,
+			ParetoPorts: paretoPorts,
+			FaultRates:  rates,
 		})
 		if err != nil {
 			stopProfiles()
@@ -158,6 +175,41 @@ func main() {
 		}
 		fmt.Fprintf(w, "%s\n(%s in %v)\n\n", res.Render(), e, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// parseIntList parses a comma-separated list of ints; "" is nil (the
+// spec's default applies).
+func parseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloatList parses a comma-separated list of floats; "" is nil.
+func parseFloatList(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // writeExperimentCSV writes the experiment's dataset into dir when a CSV
@@ -179,6 +231,8 @@ func writeExperimentCSV(dir string, res *racetrack.ExperimentResult) error {
 		name, write = "ports.csv", res.Ports.WriteCSV
 	case res.Convergence != nil:
 		name, write = "convergence.csv", res.Convergence.WriteCSV
+	case res.Pareto != nil:
+		name, write = "pareto.csv", res.Pareto.WriteCSV
 	default:
 		return nil
 	}

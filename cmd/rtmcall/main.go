@@ -28,6 +28,7 @@ func main() {
 		traceStr = flag.String("trace", "", "access trace (token format; required)")
 		strategy = flag.String("strategy", "", "placement strategy (server default: DMA-OFU)")
 		dbcs     = flag.Int("dbcs", 0, "DBC count (0 = server default)")
+		objctv   = flag.String("objective", "", "cost objective: shifts, energy, runtime, faulty:<rate> (empty = no pricing)")
 		deadline = flag.Duration("deadline", 0, "requested search budget (0 = server default)")
 		tenant   = flag.String("tenant", "", "tenant label for admission control")
 		n        = flag.Int("n", 1, "number of requests (flood mode when > 1)")
@@ -51,6 +52,7 @@ func main() {
 		Trace:          *traceStr,
 		Strategy:       *strategy,
 		DBCs:           *dbcs,
+		Objective:      *objctv,
 		DeadlineMillis: deadline.Milliseconds(),
 		Tenant:         *tenant,
 	}
@@ -130,6 +132,10 @@ func isShed(err error) bool {
 func printResult(res *rtmclient.PlaceResponse) {
 	fmt.Printf("strategy=%s dbcs=%d fingerprint=%s shifts=%d partial=%v cached=%v coalesced=%v\n",
 		res.Strategy, res.DBCs, res.Fingerprint, res.Shifts, res.Partial, res.Cached, res.Coalesced)
+	if c := res.Cost; c != nil {
+		fmt.Printf("  cost[%s]: scalar=%g runtime=%gns energy=%gpJ (dynamic=%g leakage=%g) fault_shifts=%g\n",
+			c.Objective, c.Scalar, c.RuntimeNS, c.DynamicPJ+c.LeakagePJ, c.DynamicPJ, c.LeakagePJ, c.FaultShifts)
+	}
 	for i, d := range res.Placement {
 		fmt.Printf("  dbc %d: %s\n", i, strings.Join(d, " "))
 	}

@@ -44,6 +44,7 @@ func main() {
 		dbcs       = flag.Int("dbcs", 4, "number of DBCs (2, 4, 8 or 16 for Table I energy numbers)")
 		ports      = flag.Int("ports", 1, "access ports per track; >1 optimizes and simulates under the multi-port cost model")
 		capacity   = flag.Int("capacity", 0, "per-DBC capacity in words (0 = unlimited)")
+		objective  = flag.String("objective", "", "cost objective to price the placement under: shifts, energy, runtime, faulty:<rate> (empty = shift count only; never changes the placement)")
 		format     = flag.String("format", "vars", "trace format: 'vars' (named variables), 'addr' (raw R/W address records) or 'bin' (compact binary)")
 		stream     = flag.Bool("stream", false, "place out-of-core: scan the trace window by window in bounded memory (requires -format bin)")
 		window     = flag.Int("window", 0, "accesses per placement window for -stream (0 = default)")
@@ -75,7 +76,8 @@ func main() {
 	cfg := runConfig{
 		path: flag.Arg(0), strategy: *strategy, format: *format,
 		wordBytes: *wordSize, dbcs: *dbcs, ports: *ports, capacity: *capacity,
-		gaGens: *gaGens, gaMu: *gaMu, islands: *islands, rwIters: *rwIters,
+		objective: *objective,
+		gaGens:    *gaGens, gaMu: *gaMu, islands: *islands, rwIters: *rwIters,
 		portfolio: *portfolio, stream: *stream, window: *window,
 		workers: *workers, seed: *seed, timeout: *timeout, verbose: *verbose,
 	}
@@ -105,6 +107,7 @@ type runConfig struct {
 	dbcs      int
 	ports     int
 	capacity  int
+	objective string
 	gaGens    int
 	gaMu      int
 	islands   int
@@ -127,13 +130,14 @@ func (cfg runConfig) placeOptions() racetrack.PlaceOptions {
 	ga.Seed = cfg.seed
 	ga.Islands = cfg.islands
 	return racetrack.PlaceOptions{
-		Strategy: racetrack.Strategy(cfg.strategy),
-		DBCs:     cfg.dbcs,
-		Capacity: cfg.capacity,
-		GA:       ga,
-		RW:       racetrack.RWConfig{Iterations: cfg.rwIters, Seed: cfg.seed},
-		Ports:    cfg.ports,
-		Window:   cfg.window,
+		Strategy:  racetrack.Strategy(cfg.strategy),
+		DBCs:      cfg.dbcs,
+		Capacity:  cfg.capacity,
+		Objective: cfg.objective,
+		GA:        ga,
+		RW:        racetrack.RWConfig{Iterations: cfg.rwIters, Seed: cfg.seed},
+		Ports:     cfg.ports,
+		Window:    cfg.window,
 	}
 }
 
@@ -228,6 +232,7 @@ func run(cfg runConfig) error {
 			}
 			fmt.Printf("  seq %d: %d accesses, %d variables -> %d shifts (winner %s, %d/%d pruned)\n",
 				i, s.Len(), len(s.Distinct()), r.Shifts, r.Winner, pruned, len(r.Entries))
+			printCost("    ", r.Cost)
 			if cfg.verbose {
 				fmt.Printf("    %s\n", r.Placement.Render(s))
 			}
@@ -246,11 +251,13 @@ func run(cfg runConfig) error {
 			placements[i] = res.Results[i].Placement
 			fmt.Printf("  seq %d: %d accesses, %d variables -> %d shifts\n",
 				i, s.Len(), len(s.Distinct()), res.Results[i].Shifts)
+			printCost("    ", res.Results[i].Cost)
 			if cfg.verbose {
 				fmt.Printf("    %s\n", res.Results[i].Placement.Render(s))
 			}
 		}
 		total = res.TotalShifts
+		printCost("", res.TotalCost)
 	}
 	fmt.Printf("total shifts: %d\n", total)
 
@@ -281,6 +288,15 @@ func run(cfg runConfig) error {
 		agg.LatencyNS, agg.Energy.TotalPJ(),
 		agg.Energy.LeakagePJ, agg.Energy.ReadWritePJ, agg.Energy.ShiftPJ)
 	return nil
+}
+
+// printCost renders a priced cost line (no-op without -objective).
+func printCost(indent string, c *racetrack.Cost) {
+	if c == nil {
+		return
+	}
+	fmt.Printf("%scost[%s]: scalar=%g runtime=%gns energy=%gpJ (dynamic=%g leakage=%g) fault_shifts=%g\n",
+		indent, c.Objective, c.Scalar, c.RuntimeNS, c.TotalEnergyPJ(), c.DynamicPJ, c.LeakagePJ, c.FaultShifts)
 }
 
 // runStream is the out-of-core path: the binary trace is scanned
@@ -334,6 +350,7 @@ func runStream(ctx context.Context, cfg runConfig) error {
 		}
 		fmt.Printf("  seq %d: %d accesses, %d variables -> %d shifts (%d windows, %d migration shifts, peak window %d vars)\n",
 			i, res.Accesses, sc.NumVars(), res.Shifts, res.Windows, res.MigrationShifts, res.MaxWindowVars)
+		printCost("    ", res.Cost)
 		total += res.Shifts
 	}
 	fmt.Printf("total shifts: %d\n", total)

@@ -1,0 +1,231 @@
+package racetrack
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Public-API tests of the pluggable cost model: objective selection via
+// PlaceOptions.Objective and WithCostModel, result pricing, and the
+// bit-identity of placements across objectives (the monotone reduction
+// of DESIGN.md §15).
+
+func costSeq(t *testing.T) *Sequence {
+	t.Helper()
+	s, err := ParseSequence("a b a c! b a d c a b! d d a c a b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPlaceObjectivePricesResult pins the pricing path end to end: an
+// energy-objective Place returns the same placement and shift count as
+// the default, plus a Cost priced from the Table I row of the call's
+// DBC count, with per-DBC costs that sum to the total.
+func TestPlaceObjectivePricesResult(t *testing.T) {
+	lab, err := New(WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := costSeq(t)
+	ctx := context.Background()
+	plain, err := lab.Place(ctx, s, PlaceOptions{Strategy: DMAOFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cost != nil || plain.PerDBCCost != nil {
+		t.Fatalf("raw shift default should skip pricing, got %+v", plain.Cost)
+	}
+	priced, err := lab.Place(ctx, s, PlaceOptions{Strategy: DMAOFU, Objective: "energy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priced.Shifts != plain.Shifts || !reflect.DeepEqual(priced.Placement, plain.Placement) {
+		t.Fatalf("objective changed the placement: %d vs %d shifts", priced.Shifts, plain.Shifts)
+	}
+	if priced.Cost == nil || priced.Cost.Objective != ObjectiveEnergy {
+		t.Fatalf("missing priced cost: %+v", priced.Cost)
+	}
+	params, err := EnergyParams(4) // the Lab default DBC count
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewCostModel(ObjectiveEnergy, params, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.Price(Tally{Shifts: priced.Shifts, Reads: priced.Cost.Reads, Writes: priced.Cost.Writes}); *priced.Cost != want {
+		t.Errorf("cost %+v, want %+v", *priced.Cost, want)
+	}
+	if len(priced.PerDBCCost) != len(priced.PerDBC) {
+		t.Fatalf("%d per-DBC costs for %d DBCs", len(priced.PerDBCCost), len(priced.PerDBC))
+	}
+	var sum Cost
+	sum.Objective = ObjectiveEnergy
+	for i, c := range priced.PerDBCCost {
+		if c.Shifts != priced.PerDBC[i] {
+			t.Errorf("DBC %d: cost shifts %d, attribution %d", i, c.Shifts, priced.PerDBC[i])
+		}
+		sum.Add(c)
+	}
+	if sum.Shifts != priced.Cost.Shifts || sum.Reads != priced.Cost.Reads || sum.Writes != priced.Cost.Writes {
+		t.Errorf("per-DBC tallies sum to %+v, total %+v", sum, *priced.Cost)
+	}
+	if math.Abs(sum.Scalar-priced.Cost.Scalar) > 1e-6 {
+		t.Errorf("per-DBC scalars sum to %v, total %v", sum.Scalar, priced.Cost.Scalar)
+	}
+}
+
+// TestPlaceObjectiveFaulty exercises the fault-aware objective through
+// the public API: the expected-correction overhead inflates the shift
+// term, and the result still carries the nominal shift count.
+func TestPlaceObjectiveFaulty(t *testing.T) {
+	lab, err := New(WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lab.Place(context.Background(), costSeq(t), PlaceOptions{Strategy: DMAOFU, Objective: "faulty:0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost == nil || res.Cost.Objective != ObjectiveFaulty {
+		t.Fatalf("cost %+v", res.Cost)
+	}
+	// 1/(1-0.5) = 2x physical shifts: FaultShifts equals the nominal count.
+	if math.Abs(res.Cost.FaultShifts-float64(res.Shifts)) > 1e-9 {
+		t.Errorf("fault shifts %v for %d nominal", res.Cost.FaultShifts, res.Shifts)
+	}
+}
+
+// TestPlaceObjectiveErrors pins the error paths: unknown objectives,
+// bad fault rates, and derived objectives on non-Table-I DBC counts.
+func TestPlaceObjectiveErrors(t *testing.T) {
+	lab, err := New(WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := costSeq(t)
+	ctx := context.Background()
+	for _, tc := range []struct{ objective, wantErr string }{
+		{"watts", "unknown objective"},
+		{"faulty:1", "fault rate"},
+		{"faulty:", "bad fault rate"},
+	} {
+		if _, err := lab.Place(ctx, s, PlaceOptions{Objective: tc.objective}); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("objective %q: error %v, want %q", tc.objective, err, tc.wantErr)
+		}
+	}
+	// 3 DBCs has no Table I row: derived objectives must fail loudly,
+	// the shift objective must keep working.
+	if _, err := lab.Place(ctx, s, PlaceOptions{DBCs: 3, Objective: "energy"}); err == nil {
+		t.Error("energy objective at 3 DBCs should fail (no Table I row)")
+	}
+	if _, err := lab.Place(ctx, s, PlaceOptions{DBCs: 3, Objective: "shifts"}); err != nil {
+		t.Errorf("shifts objective at 3 DBCs: %v", err)
+	}
+}
+
+// TestWithCostModelPricesEverywhere pins the Lab-wide model: Place,
+// PlacePortfolio, PlaceBenchmark and PlaceStream all price under it,
+// and an explicit PlaceOptions.Objective overrides it per call.
+func TestWithCostModelPricesEverywhere(t *testing.T) {
+	params, err := EnergyParams(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewCostModel(ObjectiveRuntime, params, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := New(WithWorkers(1), WithDevice(2), WithCostModel(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := costSeq(t)
+	ctx := context.Background()
+
+	res, err := lab.Place(ctx, s, PlaceOptions{Strategy: DMAOFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost == nil || res.Cost.Objective != ObjectiveRuntime {
+		t.Fatalf("Place did not price under the Lab model: %+v", res.Cost)
+	}
+	over, err := lab.Place(ctx, s, PlaceOptions{Strategy: DMAOFU, Objective: "energy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Cost == nil || over.Cost.Objective != ObjectiveEnergy {
+		t.Fatalf("per-call objective did not override the Lab model: %+v", over.Cost)
+	}
+
+	pf, err := lab.PlacePortfolio(ctx, s, PlaceOptions{Portfolio: []Strategy{AFDOFU, DMAOFU}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Cost == nil || pf.Cost.Objective != ObjectiveRuntime || pf.Cost.Shifts != pf.Shifts {
+		t.Fatalf("portfolio cost %+v for %d shifts", pf.Cost, pf.Shifts)
+	}
+
+	b := &Benchmark{Name: "cost", Sequences: []*Sequence{s, s}}
+	br, err := lab.PlaceBenchmark(ctx, b, PlaceOptions{Strategy: DMAOFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.TotalCost == nil || br.TotalCost.Shifts != br.TotalShifts {
+		t.Fatalf("benchmark total cost %+v for %d shifts", br.TotalCost, br.TotalShifts)
+	}
+	var want Cost
+	want.Objective = ObjectiveRuntime
+	for _, r := range br.Results {
+		if r.Cost == nil {
+			t.Fatal("unpriced benchmark result")
+		}
+		want.Add(*r.Cost)
+	}
+	if *br.TotalCost != want {
+		t.Errorf("total cost %+v, want summed %+v", *br.TotalCost, want)
+	}
+
+	sr, err := lab.PlaceStream(ctx, s.NumVars(), NewSequenceReader(s), PlaceOptions{Strategy: DMAOFU, Window: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cost == nil || sr.Cost.Objective != ObjectiveRuntime || sr.Cost.Shifts != sr.Shifts {
+		t.Fatalf("stream cost %+v for %d shifts", sr.Cost, sr.Shifts)
+	}
+}
+
+// TestObjectivePlacementBitIdentity sweeps the search strategies across
+// every objective and pins that placements and shift counts never move:
+// the objective prices, the shift count steers.
+func TestObjectivePlacementBitIdentity(t *testing.T) {
+	lab, err := New(WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := costSeq(t)
+	ctx := context.Background()
+	ga := GAConfig{Mu: 8, Lambda: 8, Generations: 12, TournamentK: 2, MutationRate: 0.5,
+		MoveWeight: 10, TransposeWeight: 10, PermuteWeight: 3, Seed: 7}
+	for _, strat := range []Strategy{GA, RW, DMA2Opt} {
+		base, err := lab.Place(ctx, s, PlaceOptions{Strategy: strat, GA: ga})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, objective := range []string{"energy", "runtime", "faulty:0.25"} {
+			got, err := lab.Place(ctx, s, PlaceOptions{Strategy: strat, GA: ga, Objective: objective})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Shifts != base.Shifts || !reflect.DeepEqual(got.Placement, base.Placement) {
+				t.Errorf("%s under %s: %d shifts, default %d — objectives must not steer the search",
+					strat, objective, got.Shifts, base.Shifts)
+			}
+		}
+	}
+}

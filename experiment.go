@@ -43,6 +43,11 @@ const (
 	// ExperimentPortfolio races the whole strategy portfolio per
 	// sequence (extension study; see Lab.PlacePortfolio).
 	ExperimentPortfolio Experiment = "portfolio"
+	// ExperimentPareto sweeps Table I configurations × port counts ×
+	// fault rates, re-optimizes per geometry, and reports the Pareto
+	// front over (runtime, energy, area) (extension study; DESIGN.md
+	// §15).
+	ExperimentPareto Experiment = "pareto"
 )
 
 // Experiments lists every experiment in presentation order (the order
@@ -50,9 +55,9 @@ const (
 func Experiments() []Experiment {
 	return []Experiment{
 		ExperimentTable1, ExperimentFig4, ExperimentFig5, ExperimentFig6,
-		ExperimentPorts, ExperimentPortfolio, ExperimentLatency,
-		ExperimentHeadline, ExperimentLongGA, ExperimentTensor,
-		ExperimentConvergence,
+		ExperimentPorts, ExperimentPareto, ExperimentPortfolio,
+		ExperimentLatency, ExperimentHeadline, ExperimentLongGA,
+		ExperimentTensor, ExperimentConvergence,
 	}
 }
 
@@ -97,6 +102,12 @@ type (
 	TensorResult = eval.TensorResult
 	// PortfolioStudyResult is the portfolio-race study dataset.
 	PortfolioStudyResult = eval.PortfolioStudyResult
+	// ParetoResult is the configuration-sweep dataset: every swept
+	// (DBCs, ports, fault rate) point with its priced (runtime, energy,
+	// area) coordinates and the non-dominated front.
+	ParetoResult = eval.ParetoResult
+	// ParetoPoint is one swept configuration of ParetoResult.
+	ParetoPoint = eval.ParetoPoint
 )
 
 // An ExperimentSpec selects and parameterizes one experiment for
@@ -115,6 +126,12 @@ type ExperimentSpec struct {
 	// Benchmark selects the benchmark for ExperimentConvergence (empty:
 	// the largest sequence of the whole suite).
 	Benchmark string
+	// ParetoPorts lists the port counts of the Pareto configuration
+	// sweep (ExperimentPareto); default {1, 2}.
+	ParetoPorts []int
+	// FaultRates lists the position-error rates of the Pareto sweep
+	// (ExperimentPareto), each in [0, 1); default {0, 0.01}.
+	FaultRates []float64
 }
 
 // An ExperimentResult carries the typed dataset of the one experiment
@@ -132,6 +149,7 @@ type ExperimentResult struct {
 	Convergence *ConvergenceResult
 	Tensor      *TensorResult
 	Portfolio   *PortfolioStudyResult
+	Pareto      *ParetoResult
 }
 
 // Render returns the experiment's aligned text table (the same output
@@ -160,6 +178,8 @@ func (r *ExperimentResult) Render() string {
 		return r.Tensor.Render()
 	case r.Portfolio != nil:
 		return r.Portfolio.Render()
+	case r.Pareto != nil:
+		return r.Pareto.Render()
 	}
 	return ""
 }
@@ -205,6 +225,8 @@ func (l *Lab) Run(ctx context.Context, spec ExperimentSpec) (*ExperimentResult, 
 		res.Tensor, err = eval.Tensor(ctx, cfg)
 	case ExperimentPortfolio:
 		res.Portfolio, err = eval.Portfolio(ctx, cfg)
+	case ExperimentPareto:
+		res.Pareto, err = eval.Pareto(ctx, cfg, spec.ParetoPorts, spec.FaultRates)
 	default:
 		err = fmt.Errorf("racetrack: unknown experiment %q", spec.Experiment)
 	}

@@ -12,7 +12,9 @@ import (
 // cost), trace (kernel construction, binary format), plus the packages
 // whose outputs are reproducibility contracts in their own right — eval
 // (experiment tables), sim (replay oracle), rtm (shift physics,
-// seeded fault model), and offsetstone (seeded workload generation).
+// seeded fault model), offsetstone (seeded workload generation), and
+// energy (the Table I constants every cost model prices with — a
+// nondeterministic parameter lookup would unpin every priced result).
 // Matched by import-path suffix so analyzer golden tests can pose as a
 // critical package.
 var DetCriticalSuffixes = []string{
@@ -24,6 +26,7 @@ var DetCriticalSuffixes = []string{
 	"internal/sim",
 	"internal/rtm",
 	"internal/offsetstone",
+	"internal/energy",
 }
 
 // DetCheck flags nondeterminism sources in determinism-critical

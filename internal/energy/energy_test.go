@@ -96,6 +96,52 @@ func TestLatencyAndEnergy(t *testing.T) {
 	}
 }
 
+// TestAccountingGoldenTableI pins the §IV-C formulas for one
+// hand-computed small trace — 7 reads, 4 writes, 23 shifts (the event
+// counts of replaying "a b! a c! b c a!"-style toy traces) — against
+// every Table I row, with the expected values worked out by hand from
+// the published constants:
+//
+//	runtime = 7·tR + 4·tW + 23·tS
+//	dynamic = 7·eR + 4·eW + 23·eS
+//	leakage = P_leak · runtime
+func TestAccountingGoldenTableI(t *testing.T) {
+	c := Counts{Reads: 7, Writes: 4, Shifts: 23}
+	golden := []struct {
+		dbcs                      int
+		runtime, dynamic, leakage float64
+	}{
+		// 2 DBCs: 7·0.81 + 4·1.08 + 23·0.99 = 32.76 ns
+		//         7·2.26 + 4·3.42 + 23·2.18 = 79.64 pJ; 3.39·32.76 = 111.0564 pJ
+		{2, 32.76, 79.64, 111.0564},
+		// 4 DBCs: 7·0.84 + 4·1.14 + 23·0.92 = 31.60 ns
+		//         7·2.39 + 4·3.65 + 23·2.03 = 78.02 pJ; 4.33·31.60 = 136.828 pJ
+		{4, 31.60, 78.02, 136.828},
+		// 8 DBCs: 7·0.86 + 4·1.17 + 23·0.86 = 30.48 ns
+		//         7·2.47 + 4·3.79 + 23·1.97 = 77.76 pJ; 6.56·30.48 = 199.9488 pJ
+		{8, 30.48, 77.76, 199.9488},
+		// 16 DBCs: 7·0.89 + 4·1.20 + 23·0.78 = 28.97 ns
+		//          7·2.54 + 4·3.94 + 23·1.86 = 76.32 pJ; 8.94·28.97 = 258.9918 pJ
+		{16, 28.97, 76.32, 258.9918},
+	}
+	for _, g := range golden {
+		p, err := ForDBCs(g.dbcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.LatencyNS(c); math.Abs(got-g.runtime) > 1e-9 {
+			t.Errorf("%d DBCs: runtime %v ns, want %v", g.dbcs, got, g.runtime)
+		}
+		b := p.Energy(c)
+		if got := b.ReadWritePJ + b.ShiftPJ; math.Abs(got-g.dynamic) > 1e-9 {
+			t.Errorf("%d DBCs: dynamic %v pJ, want %v", g.dbcs, got, g.dynamic)
+		}
+		if math.Abs(b.LeakagePJ-g.leakage) > 1e-9 {
+			t.Errorf("%d DBCs: leakage %v pJ, want %v", g.dbcs, b.LeakagePJ, g.leakage)
+		}
+	}
+}
+
 func TestCountsAdd(t *testing.T) {
 	a := Counts{Reads: 1, Writes: 2, Shifts: 3}
 	a.Add(Counts{Reads: 10, Writes: 20, Shifts: 30})

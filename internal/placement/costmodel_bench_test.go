@@ -1,0 +1,40 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+)
+
+// BenchmarkCostModel pins the scalarization boundary's overhead: pricing
+// a tally under the energy objective versus the raw shift default must
+// be plain arithmetic — no allocation, no replay — so results, per-DBC
+// breakdowns and windowed totals can all be priced without measurable
+// cost. Gated in CI with -benchmem (allocs/op must stay 0).
+func BenchmarkCostModel(b *testing.B) {
+	p4, err := energy.ForDBCs(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shiftsModel := DefaultCostModel()
+	energyModel, err := NewCostModel(ObjectiveEnergy, p4, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faultyModel, err := NewCostModel(ObjectiveFaulty, p4, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tally := Tally{Shifts: 123456, Reads: 7890, Writes: 2345}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += shiftsModel.Price(tally).Scalar
+		sink += energyModel.Price(tally).Scalar
+		sink += faultyModel.Price(tally).Scalar
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}

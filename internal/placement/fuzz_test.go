@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/energy"
 	"repro/internal/trace"
 )
 
@@ -322,6 +323,106 @@ func FuzzPortfolioParity(f *testing.F) {
 		}
 		if got, err := ShiftCost(s, r.Placement); err != nil || got != r.Cost {
 			t.Fatalf("winner replay %d (err %v), reported %d", got, err, r.Cost)
+		}
+	})
+}
+
+// FuzzCostModelMonotone feeds arbitrary byte strings interpreted as
+// (variable universe, DBC count, fault-rate selector, access sequence,
+// two DBC assignments) and checks the reduction every search layer
+// relies on (DESIGN.md §15): for random placement pairs, the scalarized
+// cost ordering of every constructible objective — shifts, energy,
+// runtime, faulty — agrees exactly with the raw shift ordering, and
+// equal shift counts price to equal scalars. Run in CI's fuzz-smoke
+// job.
+func FuzzCostModelMonotone(f *testing.F) {
+	f.Add([]byte{5, 2, 0, 1, 2, 3, 4, 0, 1, 2, 1, 0, 3, 9, 9})
+	f.Add([]byte{3, 1, 7, 1, 2, 0, 1, 2, 2, 0, 1, 7})
+	f.Add([]byte{16, 3, 255, 5, 9, 2, 6, 10, 3, 7, 11, 0, 4, 8, 250, 1, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 || len(data) > 2048 {
+			t.Skip() // bound per-exec cost so the CI smoke job explores widely
+		}
+		numVars := 1 + int(data[0]%24)
+		q := 1 + int(data[1]%6)
+		rate := float64(data[2]) / 256 // in [0, 1)
+		body := data[3:]
+
+		cut := len(body) / 2
+		seqBytes, placeBytes := body[:cut], body[cut:]
+		if len(seqBytes) == 0 {
+			t.Skip()
+		}
+		names := make([]string, numVars)
+		for i := range names {
+			names[i] = "v" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		}
+		s := &trace.Sequence{Names: names}
+		for i, b := range seqBytes {
+			s.Append(int(b)%numVars, i%3 == 0)
+		}
+
+		build := func(assign []byte) *Placement {
+			p := NewEmpty(q)
+			for v := 0; v < numVars; v++ {
+				d := 0
+				if v < len(assign) {
+					d = int(assign[v]) % q
+				}
+				p.DBC[d] = append(p.DBC[d], v)
+			}
+			return p
+		}
+		half := len(placeBytes) / 2
+		pa, pb := build(placeBytes[:half]), build(placeBytes[half:])
+
+		sa, err := ShiftCost(s, pa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := ShiftCost(s, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		p4, err := energy.ForDBCs(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models := []*CostModel{DefaultCostModel()}
+		for _, obj := range []Objective{ObjectiveShifts, ObjectiveEnergy, ObjectiveRuntime} {
+			m, err := NewCostModel(obj, p4, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			models = append(models, m)
+		}
+		mf, err := NewCostModel(ObjectiveFaulty, p4, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, mf)
+
+		ta, tb := TallyOf(s, sa), TallyOf(s, sb)
+		for _, m := range models {
+			ca, cb := m.Price(ta), m.Price(tb)
+			switch {
+			case sa < sb:
+				if !(ca.Scalar < cb.Scalar) {
+					t.Fatalf("%s: shifts %d < %d but scalar %v >= %v", m.Spec(), sa, sb, ca.Scalar, cb.Scalar)
+				}
+			case sa > sb:
+				if !(ca.Scalar > cb.Scalar) {
+					t.Fatalf("%s: shifts %d > %d but scalar %v <= %v", m.Spec(), sa, sb, ca.Scalar, cb.Scalar)
+				}
+			default:
+				if ca.Scalar != cb.Scalar {
+					t.Fatalf("%s: equal shifts %d but scalars %v != %v", m.Spec(), sa, ca.Scalar, cb.Scalar)
+				}
+			}
+			if m.Better(sa, sb) != (sa < sb) {
+				t.Fatalf("%s: Better(%d, %d) disagrees with the shift order", m.Spec(), sa, sb)
+			}
 		}
 	})
 }

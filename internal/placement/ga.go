@@ -89,6 +89,29 @@ type GAConfig struct {
 	// round. It is invoked from the coordinating goroutine between
 	// rounds (islands ascending), so it needs no locking of its own.
 	IslandProgress func(island, generation int, best int64)
+	// Cost, when non-nil, names the objective the search optimizes for.
+	// Fitness remains the int64 shift count (the kernel/delta/port hot
+	// paths are untouched): every constructible objective is strictly
+	// monotone in shifts for a fixed configuration (costmodel.go), so
+	// CostModel.Better is exactly `a < b` and selection, elitism and the
+	// best-so-far trajectory are bit-identical across objectives. The
+	// comparison sites route through better() to keep that reduction in
+	// one place; the model prices the final result at the reporting
+	// boundary, not here. nil is the raw shift objective.
+	Cost *CostModel
+}
+
+// better reports whether fitness a beats fitness b under the configured
+// objective. Fitness is the shift count even when Cost carries a derived
+// objective (energy, runtime, faulty) — the monotone reduction makes
+// CostModel.Better coincide with `a < b`, so trajectories (and the
+// determinism tests that pin them) are identical across objectives.
+// Ties keep the earlier individual, as the serial GA always has.
+func (cfg *GAConfig) better(a, b int64) bool {
+	if m := cfg.Cost; m != nil {
+		return m.Better(a, b)
+	}
+	return a < b
 }
 
 // DefaultMigrationEvery is the island-model migration interval used when
@@ -271,7 +294,7 @@ func newGARun(s *trace.Sequence, q int, cfg GAConfig) (*gaRun, error) {
 
 	r.best = r.pop[0]
 	for _, ind := range r.pop[1:] {
-		if ind.cost < r.best.cost {
+		if r.cfg.better(ind.cost, r.best.cost) {
 			r.best = ind
 		}
 	}
@@ -295,8 +318,8 @@ func (r *gaRun) step() {
 	// stream), then evaluate fitness — possibly in parallel.
 	offspring := make([]individual, 0, cfg.Lambda)
 	for len(offspring) < cfg.Lambda {
-		p1 := tournament(r.rng, r.pop, cfg.TournamentK)
-		p2 := tournament(r.rng, r.pop, cfg.TournamentK)
+		p1 := tournament(r.rng, r.pop, cfg.TournamentK, &cfg)
+		p2 := tournament(r.rng, r.pop, cfg.TournamentK, &cfg)
 		c1, c2 := r.pp.clone(p1.p), r.pp.clone(p2.p)
 		crossoverInto(r.rng, c1, c2, r.vars, cfg.Capacity, &r.xsc)
 		for _, c := range []*Placement{c1, c2} {
@@ -326,16 +349,16 @@ func (r *gaRun) step() {
 	next := make([]individual, 0, cfg.Mu)
 	poolBest := pool[0]
 	for _, ind := range pool[1:] {
-		if ind.cost < poolBest.cost {
+		if cfg.better(ind.cost, poolBest.cost) {
 			poolBest = ind
 		}
 	}
 	next = append(next, poolBest)
 	for len(next) < cfg.Mu {
-		next = append(next, tournament(r.rng, pool, cfg.TournamentK))
+		next = append(next, tournament(r.rng, pool, cfg.TournamentK, &cfg))
 	}
 	r.pop = next
-	if poolBest.cost < r.best.cost {
+	if cfg.better(poolBest.cost, r.best.cost) {
 		r.best = poolBest
 	}
 	r.gens++
@@ -450,11 +473,14 @@ func fillLookup(l *Lookup, p *Placement) {
 	}
 }
 
-func tournament(rng *rand.Rand, pop []individual, k int) individual {
+// tournament draws k individuals with replacement and keeps the fittest
+// under the configured objective (raw shift order for every objective —
+// see GAConfig.better).
+func tournament(rng *rand.Rand, pop []individual, k int, cfg *GAConfig) individual {
 	best := pop[rng.Intn(len(pop))]
 	for i := 1; i < k; i++ {
 		c := pop[rng.Intn(len(pop))]
-		if c.cost < best.cost {
+		if cfg.better(c.cost, best.cost) {
 			best = c
 		}
 	}
@@ -743,6 +769,14 @@ type RWConfig struct {
 	// cost model (bounded exact replay), exactly as GAConfig.Port does
 	// for the GA. nil is the paper's single-port model.
 	Port *PortModel
+	// Cost, when non-nil, names the objective the walk optimizes for.
+	// As with GAConfig.Cost, candidates are still compared by raw shift
+	// count — the bounded evaluators require the additive int64 shift
+	// structure, and the monotone reduction (costmodel.go) makes that
+	// comparison exactly the scalarized one — so the visited best-so-far
+	// sequence is identical across objectives. nil is the raw shift
+	// objective.
+	Cost *CostModel
 }
 
 // DefaultRWConfig returns the paper's random-walk parameters.
@@ -811,6 +845,9 @@ func RandomWalk(s *trace.Sequence, q int, cfg RWConfig) (*Placement, int64, erro
 		default:
 			c = shiftCostLookupBounded(s, lookup, last, bestCost)
 		}
+		// c is exact whenever it is below bestCost (bounded evaluation),
+		// so comparing raw shift counts here is comparing scalarized
+		// costs: every objective is strictly monotone in shifts.
 		if best == nil || c < bestCost {
 			best, bestCost = p.Clone(), c
 		}

@@ -159,7 +159,7 @@ func (r *gaRun) immigrate(in []individual) {
 	for j, m := range in {
 		slot := idx[len(idx)-1-j] // worst first, ties broken by index
 		r.pop[slot] = m
-		if m.cost < r.best.cost {
+		if r.cfg.better(m.cost, r.best.cost) {
 			r.best = m
 		}
 	}
@@ -184,7 +184,7 @@ func popByCost(pop []individual) []int {
 func composeIslands(runs []*gaRun, ctxErr error) (*GAResult, error) {
 	best := runs[0]
 	for _, r := range runs[1:] {
-		if r.best.cost < best.best.cost {
+		if r.cfg.better(r.best.cost, best.best.cost) {
 			best = r
 		}
 	}

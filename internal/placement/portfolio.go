@@ -144,6 +144,13 @@ func RacePortfolio(ctx context.Context, s *trace.Sequence, q int, cfg PortfolioC
 	// incumbent is the best exact cost any strategy has proven so far;
 	// it only ever decreases, so a bounded replay that exceeds it can
 	// abandon safely no matter how the remaining strategies turn out.
+	// The incumbent stays an int64 shift count even when Options.Cost
+	// carries a derived objective: every constructible objective is
+	// strictly monotone in shifts (costmodel.go), so the shift bound IS
+	// the scalarized bound — pruning against it abandons exactly the
+	// strategies whose scalarized cost would lose, and the winner is the
+	// scalarized argmin. Pricing into energy/runtime happens once at the
+	// reporting boundary, not per candidate.
 	var incumbent atomic.Int64
 	incumbent.Store(math.MaxInt64)
 

@@ -279,6 +279,9 @@ func (g ga) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, er
 		}
 		cfg.Port = pm // fitness and the memetic polish follow the true objective
 	}
+	if cfg.Cost == nil {
+		cfg.Cost = opts.Cost // comparison stays raw shift order; see GAConfig.Cost
+	}
 	if g.memetic && cfg.ImproveWeight == 0 {
 		// Same order of magnitude as the paper's permute skew: rare
 		// enough to keep breeding cheap, frequent enough to polish.
@@ -335,6 +338,9 @@ func (rw) Place(s *trace.Sequence, q int, opts Options) (*Placement, int64, erro
 			return nil, 0, err
 		}
 		cfg.Port = pm
+	}
+	if cfg.Cost == nil {
+		cfg.Cost = opts.Cost
 	}
 	return RandomWalk(s, q, cfg)
 }

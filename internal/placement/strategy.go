@@ -80,6 +80,15 @@ type Options struct {
 	// simulation on one geometry. Callers with an explicit device set
 	// it to Geometry.WordsPerDBC().
 	PortDomains int
+	// Cost, when non-nil, selects the objective the placement is priced
+	// under at the reporting boundaries (session results, portfolio
+	// entries, streamed totals). Every constructible objective is
+	// strictly monotone in the shift count for a fixed (sequence,
+	// geometry, Table I config) — NewCostModel enforces it — so the
+	// search layers keep optimizing the raw int64 shift cost and their
+	// trajectories are bit-identical across objectives; the model only
+	// prices the output. nil is the raw shift objective (the paper's).
+	Cost *CostModel
 	// Context, when non-nil, is consulted by the long-running search
 	// strategies: the GA checks it between generations (and between
 	// island migration rounds), so a deadline or cancellation

@@ -90,10 +90,30 @@ type StreamResult struct {
 	MigrationShifts int64
 	// MigratedVars counts variable migrations across all boundaries.
 	MigratedVars int64
+	// Reads and Writes count the stream's accesses by kind plus the
+	// inter-window migration traffic (each migrated variable adds one
+	// read at its old location and one write at its new one). Together
+	// with Shifts they form the tally the cost model prices.
+	Reads  int64
+	Writes int64
+	// Cost prices the stitched totals under StreamConfig.Options.Cost.
+	// nil when no cost model is configured (the raw shift objective).
+	Cost *Cost
 	// MaxWindowVars is the largest distinct-variable count of any
 	// window — the peak placement-problem size, which bounds the
 	// working set.
 	MaxWindowVars int
+}
+
+// finish recomputes the stitched shift total and, when a cost model is
+// configured, prices the accumulated tally — once, at the boundary; the
+// per-access loops never touch the model.
+func (res *StreamResult) finish(m *CostModel) {
+	res.Shifts = res.WindowShifts + res.MigrationShifts
+	if m != nil {
+		c := m.Price(Tally{Shifts: res.Shifts, Reads: res.Reads, Writes: res.Writes})
+		res.Cost = &c
+	}
 }
 
 // varLoc is a variable's physical location in one window's layout.
@@ -181,7 +201,7 @@ func PlaceStreamed(ctx context.Context, r trace.AccessReader, cfg StreamConfig) 
 			// last completed window — rides along with the context's
 			// error, so a deadline bounds a long windowed run without
 			// discarding the windows already priced.
-			res.Shifts = res.WindowShifts + res.MigrationShifts
+			res.finish(cfg.Options.Cost)
 			return res, err
 		}
 		// Read one window, compacting global variable ids to dense local
@@ -221,7 +241,7 @@ func PlaceStreamed(ctx context.Context, r trace.AccessReader, cfg StreamConfig) 
 				// Cancelled mid-window: the unstitched window is
 				// discarded; the result through the previous window
 				// still rides along with the context error.
-				res.Shifts = res.WindowShifts + res.MigrationShifts
+				res.finish(cfg.Options.Cost)
 				return res, cerr
 			}
 			return nil, fmt.Errorf("placement: stream: window %d (%d accesses, %d vars): %w",
@@ -256,12 +276,19 @@ func PlaceStreamed(ctx context.Context, r trace.AccessReader, cfg StreamConfig) 
 				res.MigrationShifts += charge(old.dbc, old.off)            // read out of the old location
 				res.MigrationShifts += charge(l.DBCOf[lid], l.Offset[lid]) // write into the new one
 				res.MigratedVars++
+				res.Reads++
+				res.Writes++
 			}
 		}
 
 		// Replay the window's accesses against the persistent port state.
 		for _, a := range ws.Accesses {
 			res.WindowShifts += charge(l.DBCOf[a.Var], l.Offset[a.Var])
+			if a.Write {
+				res.Writes++
+			} else {
+				res.Reads++
+			}
 		}
 
 		// This window's layout is the next boundary's residency.
@@ -285,6 +312,6 @@ func PlaceStreamed(ctx context.Context, r trace.AccessReader, cfg StreamConfig) 
 			})
 		}
 	}
-	res.Shifts = res.WindowShifts + res.MigrationShifts
+	res.finish(cfg.Options.Cost)
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/energy"
 	"repro/internal/trace"
 )
 
@@ -77,10 +78,12 @@ func TestPlaceStreamedStitchingByHand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Tally: the trace's 4 reads plus the 2 migrations' read+write pairs
+	// — Reads 4+2 = 6, Writes 0+2 = 2.
 	want := &StreamResult{
 		Accesses: 4, Windows: 2,
 		Shifts: 5, WindowShifts: 2, MigrationShifts: 3,
-		MigratedVars: 2, MaxWindowVars: 2,
+		MigratedVars: 2, Reads: 6, Writes: 2, MaxWindowVars: 2,
 	}
 	if !reflect.DeepEqual(res, want) {
 		t.Fatalf("stitched result %+v, want %+v", res, want)
@@ -88,6 +91,43 @@ func TestPlaceStreamedStitchingByHand(t *testing.T) {
 	if len(events) != 2 || events[0].Window != 0 || events[1].Window != 1 ||
 		events[1].Accesses != 4 || events[1].Shifts != 5 {
 		t.Fatalf("progress events %+v", events)
+	}
+}
+
+// TestPlaceStreamedPricesCost pins the boundary pricing: a streamed run
+// with a cost model configured reports exactly the model's price of its
+// stitched tally, and the stitched shift accounting is bit-identical to
+// a model-free run (the model only prices, never steers).
+func TestPlaceStreamedPricesCost(t *testing.T) {
+	s := streamSeq(t, "a b b a! c a b! c")
+	params, err := energy.ForDBCs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewCostModel(ObjectiveEnergy, params, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StreamConfig{NumVars: 3, DBCs: 2, Window: 3, Strategy: StrategyDMAOFU}
+	plain, err := PlaceStreamed(context.Background(), trace.NewSliceReader(s), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Options.Cost = m
+	priced, err := PlaceStreamed(context.Background(), trace.NewSliceReader(s), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priced.Cost == nil {
+		t.Fatal("no cost priced with a model configured")
+	}
+	want := m.Price(Tally{Shifts: plain.Shifts, Reads: plain.Reads, Writes: plain.Writes})
+	if *priced.Cost != want {
+		t.Errorf("priced %+v, want %+v", *priced.Cost, want)
+	}
+	priced.Cost = nil
+	if !reflect.DeepEqual(plain, priced) {
+		t.Errorf("model changed the stitched accounting: %+v vs %+v", plain, priced)
 	}
 }
 

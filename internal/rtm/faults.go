@@ -89,6 +89,27 @@ func (f *FaultyEngine) Access(x int) (int, error) {
 	return total, nil
 }
 
+// ErrorRate returns the per-shift position-error probability the engine
+// was built with. The fault-aware cost model reads it to price expected
+// correction overhead without replaying the engine.
+func (f *FaultyEngine) ErrorRate() float64 { return f.errorRate }
+
+// ExpectedShiftOverhead returns the analytic upper bound on a
+// FaultyEngine's physical-to-nominal shift ratio at the given per-shift
+// error rate. Every shift slips with probability p; each residual slip
+// costs one corrective shift, which may itself slip, giving the
+// geometric series 1 + p + p² + ... = 1/(1-p). It is an upper bound,
+// not the exact expectation: within a burst, opposite-direction slips
+// physically cancel before the controller corrects anything (see
+// Access), so measured overhead is at or below this factor — asserted
+// by TestExpectedShiftOverheadBoundsEngine.
+func ExpectedShiftOverhead(errorRate float64) (float64, error) {
+	if errorRate < 0 || errorRate >= 1 {
+		return 0, fmt.Errorf("rtm: error rate must be in [0,1), got %v", errorRate)
+	}
+	return 1 / (1 - errorRate), nil
+}
+
 // Faults returns the number of injected position errors so far.
 func (f *FaultyEngine) Faults() int64 { return f.faults }
 

@@ -1,6 +1,7 @@
 package rtm
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -82,51 +83,119 @@ func TestFaultyEngineDeterministic(t *testing.T) {
 	}
 }
 
-// TestFaultyEngineSignedSlipExpectation pins the corrected burst model:
-// slips are ±1 with equal probability, so the residual misalignment a
-// burst needs correcting is the *net* slip, not the slip count. For a
-// burst of n shifts at rate r the net slip is a sum of k ~ Bin(n, r)
-// independent signs: mean 0, variance E[k] = n·r, hence
-// E|net| ≈ sqrt(2·n·r/π) (half-normal). With n = 100 and r = 0.2 that
-// is ≈ 3.6 corrective shifts per burst (≈ 4.2 with the recursive
-// correction rounds) — the magnitude-sum model charged ≈ 25. The test
-// drives 2000 identical 100-shift bursts and pins the mean corrective
-// cost to the corrected expectation's band; the standard error of the
-// mean is ≈ 0.06, so the band is >10 sigma wide on both sides.
+// TestFaultyEngineSignedSlipExpectation pins the corrected burst model
+// across error rates: slips are ±1 with equal probability, so the
+// residual misalignment a burst needs correcting is the *net* slip, not
+// the slip count. For a burst of n shifts at rate r the net slip is a
+// sum of k ~ Bin(n, r) independent signs: mean 0, variance E[k] = n·r,
+// hence E|net| ≈ sqrt(2·n·r/π) (half-normal), plus the geometric tail
+// of the recursive correction rounds. With n = 100 that is ≈ 1.8 / 4.2
+// / 7 corrective shifts per burst at r = 0.05 / 0.2 / 0.4 — where the
+// magnitude-sum model would charge ≈ r/(1-r)·n (5.3 / 25 / 67). The
+// test drives 2000 identical 100-shift bursts per rate and pins the
+// mean corrective cost to the corrected expectation's band; the
+// standard error of each mean is well under a tenth of the band width.
 func TestFaultyEngineSignedSlipExpectation(t *testing.T) {
 	const (
 		bursts = 2000
 		n      = 100
-		rate   = 0.2
 	)
-	f, err := NewFaultyEngine(n+1, 1, rate, 11)
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		rate                         float64
+		minCorrective, maxCorrective float64
+		minFaults, maxFaults         float64
+	}{
+		{rate: 0.05, minCorrective: 1.0, maxCorrective: 3.0, minFaults: 3.5, maxFaults: 7.5},
+		{rate: 0.2, minCorrective: 2.5, maxCorrective: 5.5, minFaults: 15, maxFaults: 26},
+		{rate: 0.4, minCorrective: 4.0, maxCorrective: 10.5, minFaults: 34, maxFaults: 55},
 	}
-	f.Access(0) // warm up: the first access is free
-	for i := 0; i < bursts; i++ {
-		if i%2 == 0 {
-			f.Access(n)
-		} else {
-			f.Access(0)
-		}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("rate=%v", tc.rate), func(t *testing.T) {
+			f, err := NewFaultyEngine(n+1, 1, tc.rate, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.ErrorRate() != tc.rate {
+				t.Fatalf("ErrorRate() = %v, want %v", f.ErrorRate(), tc.rate)
+			}
+			f.Access(0) // warm up: the first access is free
+			for i := 0; i < bursts; i++ {
+				if i%2 == 0 {
+					f.Access(n)
+				} else {
+					f.Access(0)
+				}
+			}
+			meanCorrective := float64(f.CorrectiveShifts()) / bursts
+			if meanCorrective < tc.minCorrective || meanCorrective > tc.maxCorrective {
+				t.Errorf("mean corrective shifts per %d-shift burst = %.2f, want in [%.1f, %.1f] (signed net slip)",
+					n, meanCorrective, tc.minCorrective, tc.maxCorrective)
+			}
+			// The old magnitude-sum accounting would sit near r/(1-r)·n
+			// per burst; anything close means cancellation is broken.
+			if magnitude := tc.rate / (1 - tc.rate) * n; meanCorrective > magnitude/2 {
+				t.Errorf("mean corrective %.2f per burst near the magnitude-sum model's %.1f: opposite-direction slips are not cancelling",
+					meanCorrective, magnitude)
+			}
+			// Faults counts every injected slip; corrections only the
+			// residual.
+			meanFaults := float64(f.Faults()) / bursts
+			if meanFaults < tc.minFaults || meanFaults > tc.maxFaults {
+				t.Errorf("mean injected slips per burst = %.2f, want in [%.1f, %.1f]", meanFaults, tc.minFaults, tc.maxFaults)
+			}
+			if f.CorrectiveShifts() >= f.Faults() {
+				t.Errorf("corrective shifts %d not below injected slips %d", f.CorrectiveShifts(), f.Faults())
+			}
+		})
 	}
-	meanCorrective := float64(f.CorrectiveShifts()) / bursts
-	if meanCorrective < 2.5 || meanCorrective > 5.5 {
-		t.Errorf("mean corrective shifts per 100-shift burst = %.2f, want ≈ 4.2 (signed net slip)", meanCorrective)
+}
+
+// TestExpectedShiftOverheadBoundsEngine checks the analytic 1/(1-p)
+// factor the fault-aware cost model prices with: it must upper-bound
+// the measured physical/nominal shift ratio of a real FaultyEngine run
+// (signed-slip cancellation keeps the truth below the bound) while
+// staying meaningful — at least 1, and exceeded by no run.
+func TestExpectedShiftOverheadBoundsEngine(t *testing.T) {
+	for _, rate := range []float64{0, 0.01, 0.05, 0.2, 0.4} {
+		t.Run(fmt.Sprintf("rate=%v", rate), func(t *testing.T) {
+			bound, err := ExpectedShiftOverhead(rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bound < 1 {
+				t.Fatalf("bound %v below 1", bound)
+			}
+			f, err := NewFaultyEngine(128, 1, rate, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(5))
+			var physical int64
+			for i := 0; i < 2000; i++ {
+				c, err := f.Access(rng.Intn(128))
+				if err != nil {
+					t.Fatal(err)
+				}
+				physical += int64(c)
+			}
+			nominal := f.NominalShifts()
+			if nominal == 0 {
+				t.Fatal("no nominal shifts")
+			}
+			ratio := float64(physical) / float64(nominal)
+			if ratio > bound {
+				t.Errorf("measured overhead %.4f exceeds the analytic bound %.4f at rate %v", ratio, bound, rate)
+			}
+			if rate == 0 && ratio != 1 {
+				t.Errorf("zero-rate ratio %v != 1", ratio)
+			}
+		})
 	}
-	// The old magnitude-sum accounting would sit near r/(1-r)·n = 25
-	// per burst; anything close means cancellation is not happening.
-	if meanCorrective > 8 {
-		t.Errorf("mean corrective %.2f per burst: opposite-direction slips are not cancelling", meanCorrective)
+	if _, err := ExpectedShiftOverhead(-0.1); err == nil {
+		t.Error("negative rate accepted")
 	}
-	// Faults counts every injected slip; corrections only the residual.
-	meanFaults := float64(f.Faults()) / bursts
-	if meanFaults < 15 || meanFaults > 26 {
-		t.Errorf("mean injected slips per burst = %.2f, want ≈ 21", meanFaults)
-	}
-	if f.CorrectiveShifts() >= f.Faults() {
-		t.Errorf("corrective shifts %d not below injected slips %d", f.CorrectiveShifts(), f.Faults())
+	if _, err := ExpectedShiftOverhead(1); err == nil {
+		t.Error("rate 1 accepted (the series diverges)")
 	}
 }
 

@@ -32,6 +32,12 @@ type Key struct {
 	Fingerprint uint64
 	// Strategy is the placement strategy name.
 	Strategy string
+	// Objective is the canonical cost-objective spec the result was
+	// priced under ("" = no pricing). The objective never changes the
+	// layout, but it is key material anyway: a cached answer must carry
+	// the cost dimensions the request asked for, so "energy" must not
+	// serve a hit stored under "" or "faulty:0.01".
+	Objective string
 	// DBCs, Capacity and Ports are the placement options that shape the
 	// result (PlaceOptions.DBCs/Capacity/Ports).
 	DBCs, Capacity, Ports int
@@ -205,6 +211,11 @@ func (c *Cache) path(k Key) string {
 		h ^= uint64(k.Strategy[i])
 		h *= fnvPrime64
 	}
+	mix(uint64(len(k.Objective)))
+	for i := 0; i < len(k.Objective); i++ {
+		h ^= uint64(k.Objective[i])
+		h *= fnvPrime64
+	}
 	mix(uint64(int64(k.DBCs)))
 	mix(uint64(int64(k.Capacity)))
 	mix(uint64(int64(k.Ports)))
@@ -214,17 +225,21 @@ func (c *Cache) path(k Key) string {
 // Entry encoding. Layout (little-endian, "uvarint"/"varint" are
 // encoding/binary's):
 //
-//	Entry := "RTPC" | uint16 version (= 1)
+//	Entry := "RTPC" | uint16 version (= 2)
 //	         | uint64 fingerprint
 //	         | uvarint len(strategy) | strategy bytes
+//	         | uvarint len(objective) | objective bytes
 //	         | uvarint dbcs | uvarint capacity | uvarint ports
 //	         | varint shifts
 //	         | uvarint len(perDBC) | len × varint
 //	         | uvarint numDBCs | numDBCs × (uvarint len | len × uvarint var)
 //	         | uint64 FNV-1a over all preceding bytes
 const (
-	entryMagic   = "RTPC"
-	entryVersion = 1
+	entryMagic = "RTPC"
+	// entryVersion 2 added the objective to the key material; version 1
+	// entries (no objective) decode as unsupported and are rebuilt — a
+	// stale pre-objective entry must never answer a priced request.
+	entryVersion = 2
 
 	fnvOffset64 = 14695981039346656037
 	fnvPrime64  = 1099511628211
@@ -243,6 +258,8 @@ func encodeEntry(e *Entry) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, e.Key.Fingerprint)
 	buf = binary.AppendUvarint(buf, uint64(len(e.Key.Strategy)))
 	buf = append(buf, e.Key.Strategy...)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Key.Objective)))
+	buf = append(buf, e.Key.Objective...)
 	buf = binary.AppendUvarint(buf, uint64(e.Key.DBCs))
 	buf = binary.AppendUvarint(buf, uint64(e.Key.Capacity))
 	buf = binary.AppendUvarint(buf, uint64(e.Key.Ports))
@@ -359,6 +376,7 @@ func decodeEntry(raw []byte) (*Entry, error) {
 	e := &Entry{}
 	e.Key.Fingerprint = d.u64()
 	e.Key.Strategy = string(d.bytes(int(d.uvarint(maxStrategyLen, "strategy length"))))
+	e.Key.Objective = string(d.bytes(int(d.uvarint(maxStrategyLen, "objective length"))))
 	e.Key.DBCs = int(d.uvarint(maxListLen, "dbcs"))
 	e.Key.Capacity = int(d.uvarint(maxListLen, "capacity"))
 	e.Key.Ports = int(d.uvarint(maxListLen, "ports"))

@@ -41,6 +41,40 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestObjectiveKeysSeparateEntries pins the objective as key material:
+// entries stored under one objective are invisible to every other (a
+// stale layout must never answer a request priced differently), and
+// distinct objectives coexist as distinct files.
+func TestObjectiveKeysSeparateEntries(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := testEntry()
+	energy := testEntry()
+	energy.Key.Objective = "energy"
+	energy.Shifts = 999
+	if err := c.Put(plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(energy); err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range []string{"runtime", "faulty:0.01"} {
+		k := plain.Key
+		k.Objective = obj
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("objective %q served an entry stored under another objective", obj)
+		}
+	}
+	if got, ok := c.Get(plain.Key); !ok || got.Shifts != plain.Shifts {
+		t.Fatalf("unpriced entry lost: ok=%v %+v", ok, got)
+	}
+	if got, ok := c.Get(energy.Key); !ok || got.Shifts != energy.Shifts {
+		t.Fatalf("energy entry lost: ok=%v %+v", ok, got)
+	}
+}
+
 func TestReopenSurvives(t *testing.T) {
 	dir := t.TempDir()
 	c, err := Open(dir)

@@ -9,6 +9,8 @@ import "testing"
 func FuzzDecodePlaceRequest(f *testing.F) {
 	f.Add([]byte(`{"trace":"a b a b c a c a"}`))
 	f.Add([]byte(`{"trace":"a b!","strategy":"GA","dbcs":4,"capacity":64,"ports":2,"deadline_ms":100,"tenant":"t"}`))
+	f.Add([]byte(`{"trace":"a b","objective":"faulty:0.01"}`))
+	f.Add([]byte(`{"trace":"a b","objective":"watts"}`))
 	f.Add([]byte(`{"trace":""}`))
 	f.Add([]byte(`{"trace":"a","dbcs":-1}`))
 	f.Add([]byte(`{"trace":"a","dbcs":99999999}`))

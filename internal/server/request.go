@@ -27,6 +27,8 @@ const (
 	maxCapacity = 1 << 30
 	// maxTenantLen bounds the tenant label (it keys an accounting map).
 	maxTenantLen = 128
+	// maxObjectiveLen bounds the objective spec before parsing.
+	maxObjectiveLen = 64
 )
 
 // placeRequest is the decoded, validated form of one /v1/place call.
@@ -38,6 +40,11 @@ type placeRequest struct {
 	ports    int
 	deadline time.Duration // client ask; 0 = use the server default
 	tenant   string
+	// objective is the request's cost-objective spec, syntax-checked at
+	// decode time ("" = no pricing). It is canonicalized against the
+	// effective DBC count after defaulting (Server.resolveObjective) —
+	// the canonical spec, not this raw string, keys the caches.
+	objective string
 }
 
 // decodePlaceRequest turns an uploaded body into a typed request. Every
@@ -68,18 +75,26 @@ func decodePlaceRequest(body []byte) (*placeRequest, error) {
 		return nil, fmt.Errorf("deadline_ms %d is negative", wire.DeadlineMillis)
 	case len(wire.Tenant) > maxTenantLen:
 		return nil, fmt.Errorf("tenant label longer than %d bytes", maxTenantLen)
+	case len(wire.Objective) > maxObjectiveLen:
+		return nil, fmt.Errorf("objective spec longer than %d bytes", maxObjectiveLen)
+	}
+	if wire.Objective != "" {
+		if _, _, err := racetrack.ParseObjective(wire.Objective); err != nil {
+			return nil, fmt.Errorf("invalid objective: %v", err)
+		}
 	}
 	seq, err := racetrack.ParseSequence(wire.Trace)
 	if err != nil {
 		return nil, fmt.Errorf("invalid trace: %v", err)
 	}
 	return &placeRequest{
-		seq:      seq,
-		strategy: racetrack.Strategy(wire.Strategy),
-		dbcs:     wire.DBCs,
-		capacity: wire.Capacity,
-		ports:    wire.Ports,
-		deadline: time.Duration(wire.DeadlineMillis) * time.Millisecond,
-		tenant:   wire.Tenant,
+		seq:       seq,
+		strategy:  racetrack.Strategy(wire.Strategy),
+		dbcs:      wire.DBCs,
+		capacity:  wire.Capacity,
+		ports:     wire.Ports,
+		deadline:  time.Duration(wire.DeadlineMillis) * time.Millisecond,
+		tenant:    wire.Tenant,
+		objective: wire.Objective,
 	}, nil
 }

@@ -170,11 +170,26 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.applyDefaults(req)
+	model, err := s.resolveObjective(req)
+	if err != nil {
+		// The spec was syntax-checked at decode time, so a failure here
+		// is a semantic mismatch with the effective options (e.g. a
+		// derived objective on a DBC count with no Table I row) — still
+		// the client's ask, still a 400.
+		s.m.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	objective := ""
+	if model != nil {
+		objective = model.Spec()
+	}
 
 	fp := req.seq.Fingerprint()
 	key := diskcache.Key{
 		Fingerprint: fp,
 		Strategy:    string(req.strategy),
+		Objective:   objective,
 		DBCs:        req.dbcs,
 		Capacity:    req.capacity,
 		Ports:       req.ports,
@@ -182,14 +197,14 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 
 	// Warm path: a verified persistent-cache entry answers without
 	// touching admission — a restart serves its working set immediately.
-	if resp := s.fromCache(key, req); resp != nil {
+	if resp := s.fromCache(key, req, model); resp != nil {
 		s.m.cacheHits.Add(1)
 		s.m.ok.Add(1)
 		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
 
-	flightKey := fmt.Sprintf("%016x|%s|%d|%d|%d", fp, req.strategy, req.dbcs, req.capacity, req.ports)
+	flightKey := fmt.Sprintf("%016x|%s|%s|%d|%d|%d", fp, req.strategy, objective, req.dbcs, req.capacity, req.ports)
 	resp, err, shared := s.group.do(r.Context(), flightKey, func(fctx context.Context) (*rtmclient.PlaceResponse, error) {
 		return s.compute(fctx, key, req)
 	})
@@ -228,6 +243,47 @@ func (s *Server) applyDefaults(req *placeRequest) {
 	}
 }
 
+// resolveObjective builds the request's cost model (nil when no pricing
+// was asked for). Its canonical Spec — not the raw request string — is
+// the cache/coalescing key material, so "faulty:0.50" and "faulty:0.5"
+// are the same work item.
+func (s *Server) resolveObjective(req *placeRequest) (*racetrack.CostModel, error) {
+	if req.objective == "" {
+		return nil, nil
+	}
+	obj, rate, err := racetrack.ParseObjective(req.objective)
+	if err != nil {
+		return nil, err
+	}
+	if obj == racetrack.ObjectiveShifts {
+		return racetrack.DefaultCostModel(), nil
+	}
+	params, err := racetrack.EnergyParams(req.dbcs)
+	if err != nil {
+		return nil, fmt.Errorf("objective %q: %v", req.objective, err)
+	}
+	return racetrack.NewCostModel(obj, params, rate)
+}
+
+// wireCost renders a priced cost for the response; spec is the
+// canonical objective spec (the key material).
+func wireCost(spec string, c *racetrack.Cost) *rtmclient.PlaceCost {
+	if c == nil {
+		return nil
+	}
+	return &rtmclient.PlaceCost{
+		Objective:   spec,
+		Shifts:      c.Shifts,
+		Reads:       c.Reads,
+		Writes:      c.Writes,
+		FaultShifts: c.FaultShifts,
+		RuntimeNS:   c.RuntimeNS,
+		DynamicPJ:   c.DynamicPJ,
+		LeakagePJ:   c.LeakagePJ,
+		Scalar:      c.Scalar,
+	}
+}
+
 // compute runs inside the (possibly shared) flight: admission, the
 // deadline-bounded placement, and the cache write-back. A panic in a
 // strategy is contained here — the flight goroutine must never crash
@@ -260,10 +316,11 @@ func (s *Server) compute(fctx context.Context, key diskcache.Key, req *placeRequ
 	ctx, cancel := context.WithTimeout(fctx, req.deadline)
 	defer cancel()
 	res, perr := s.cfg.Lab.Place(ctx, req.seq, racetrack.PlaceOptions{
-		Strategy: req.strategy,
-		DBCs:     req.dbcs,
-		Capacity: req.capacity,
-		Ports:    req.ports,
+		Strategy:  req.strategy,
+		DBCs:      req.dbcs,
+		Capacity:  req.capacity,
+		Ports:     req.ports,
+		Objective: key.Objective,
 	})
 	if res == nil {
 		// No result at all: a failed strategy, or a deadline that
@@ -280,6 +337,7 @@ func (s *Server) compute(fctx context.Context, key diskcache.Key, req *placeRequ
 		PerDBC:      res.PerDBC,
 		Placement:   namedPlacement(req.seq, res.Placement),
 		Partial:     partial,
+		Cost:        wireCost(key.Objective, res.Cost),
 	}
 	if !partial && s.cfg.Cache != nil {
 		entry := &diskcache.Entry{Key: key, Shifts: res.Shifts, PerDBC: res.PerDBC, DBC: res.Placement.DBC}
@@ -297,7 +355,7 @@ func (s *Server) compute(fctx context.Context, key diskcache.Key, req *placeRequ
 // additionally validated against the actual sequence — a fingerprint
 // collision (different trace, same fingerprint) fails validation and
 // falls through to a rebuild that overwrites the entry.
-func (s *Server) fromCache(key diskcache.Key, req *placeRequest) *rtmclient.PlaceResponse {
+func (s *Server) fromCache(key diskcache.Key, req *placeRequest, model *racetrack.CostModel) *rtmclient.PlaceResponse {
 	if s.cfg.Cache == nil {
 		return nil
 	}
@@ -311,7 +369,7 @@ func (s *Server) fromCache(key diskcache.Key, req *placeRequest) *rtmclient.Plac
 			key.Fingerprint, key.Strategy, err)
 		return nil
 	}
-	return &rtmclient.PlaceResponse{
+	resp := &rtmclient.PlaceResponse{
 		Strategy:    string(req.strategy),
 		DBCs:        req.dbcs,
 		Fingerprint: fmt.Sprintf("%016x", key.Fingerprint),
@@ -320,6 +378,14 @@ func (s *Server) fromCache(key diskcache.Key, req *placeRequest) *rtmclient.Plac
 		Placement:   namedPlacement(req.seq, p),
 		Cached:      true,
 	}
+	if model != nil {
+		// Entries store the nominal result; pricing is deterministic
+		// arithmetic over it, so a hit re-prices instead of persisting
+		// derived floats (the key pinned the same objective).
+		c := model.Price(racetrack.TallyOf(req.seq, e.Shifts))
+		resp.Cost = wireCost(key.Objective, &c)
+	}
+	return resp
 }
 
 // namedPlacement renders a placement's DBC lists with the sequence's

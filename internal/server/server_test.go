@@ -261,6 +261,58 @@ func TestCacheRoundTripThroughServer(t *testing.T) {
 	}
 }
 
+// TestObjectiveCacheIdentity pins the cost objective as cache key
+// material: a layout cached under one objective must not answer a
+// request for another (the response would be missing or carrying the
+// wrong cost dimensions), equivalent specs must share one entry, and
+// priced hits must carry the same cost a cold compute produces.
+func TestObjectiveCacheIdentity(t *testing.T) {
+	cache, err := diskcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Cache: cache})
+	trace := "a b a b c a c a d d a"
+
+	code, _, plain, _ := post(t, ts.URL, placeBody(trace, "", ""))
+	if code != http.StatusOK || plain.Cached || plain.Cost != nil {
+		t.Fatalf("cold unpriced request: code=%d %+v", code, plain)
+	}
+	// Same trace, different objective: the unpriced entry must not be
+	// served — this request needs a cost the entry never had.
+	code, _, priced, _ := post(t, ts.URL, placeBody(trace, "", `,"objective":"energy"`))
+	if code != http.StatusOK || priced.Cached {
+		t.Fatalf("objective change served a stale cache entry: code=%d %+v", code, priced)
+	}
+	if priced.Cost == nil || priced.Cost.Objective != "energy" || priced.Cost.Scalar <= 0 {
+		t.Fatalf("priced response without cost: %+v", priced.Cost)
+	}
+	if priced.Shifts != plain.Shifts {
+		t.Fatalf("objective changed the placement: %d vs %d shifts", priced.Shifts, plain.Shifts)
+	}
+	// Same objective again: now warm, and the re-priced hit must match
+	// the cold compute bit for bit.
+	code, _, warm, _ := post(t, ts.URL, placeBody(trace, "", `,"objective":"energy"`))
+	if code != http.StatusOK || !warm.Cached {
+		t.Fatalf("identical priced request missed the cache: code=%d %+v", code, warm)
+	}
+	if warm.Cost == nil || *warm.Cost != *priced.Cost {
+		t.Fatalf("cache hit re-priced differently: %+v vs %+v", warm.Cost, priced.Cost)
+	}
+	// Canonicalization: "faulty:0.50" and "faulty:0.5" are one work item.
+	code, _, f1, _ := post(t, ts.URL, placeBody(trace, "", `,"objective":"faulty:0.50"`))
+	if code != http.StatusOK || f1.Cached {
+		t.Fatalf("cold faulty request: code=%d %+v", code, f1)
+	}
+	code, _, f2, _ := post(t, ts.URL, placeBody(trace, "", `,"objective":"faulty:0.5"`))
+	if code != http.StatusOK || !f2.Cached {
+		t.Fatalf("equivalent faulty spec missed the cache: code=%d %+v", code, f2)
+	}
+	if f2.Cost == nil || f2.Cost.Objective != "faulty:0.5" || *f2.Cost != *f1.Cost {
+		t.Fatalf("canonicalized specs priced differently: %+v vs %+v", f2.Cost, f1.Cost)
+	}
+}
+
 // TestDrain verifies graceful shutdown: draining refuses new work with
 // 503 + Retry-After, lets the in-flight request finish, and Drain
 // returns once idle.
@@ -322,6 +374,9 @@ func TestBadRequests(t *testing.T) {
 		{"huge dbcs", `{"trace":"a b","dbcs":1000000}`},
 		{"negative deadline", `{"trace":"a b","deadline_ms":-5}`},
 		{"unknown strategy", `{"trace":"a b","strategy":"no-such"}`},
+		{"unknown objective", `{"trace":"a b","objective":"watts"}`},
+		{"fault rate 1", `{"trace":"a b","objective":"faulty:1"}`},
+		{"objective without Table I row", `{"trace":"a b","dbcs":3,"objective":"energy"}`},
 	}
 	for _, tc := range cases {
 		code, _, _, er := post(t, ts.URL, tc.body)

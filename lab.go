@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/energy"
 	"repro/internal/engine"
 	"repro/internal/placement"
 	"repro/internal/sim"
@@ -32,6 +33,7 @@ type Lab struct {
 	islands  int
 	device   DeviceConfig
 	cache    *kernelCache
+	cost     *placement.CostModel
 
 	progress func(ProgressEvent)
 	progMu   sync.Mutex
@@ -95,6 +97,7 @@ func New(opts ...Option) (*Lab, error) {
 		islands:  cfg.islands,
 		device:   cfg.device,
 		cache:    newKernelCache(cfg.kernelCap),
+		cost:     cfg.cost,
 		progress: cfg.progress,
 	}
 	if !cfg.deviceSet {
@@ -212,6 +215,53 @@ func (l *Lab) withDefaults(opts PlaceOptions) PlaceOptions {
 	return opts
 }
 
+// costModelFor resolves the effective cost model for one call: an
+// explicit PlaceOptions.Objective wins (its Table I parameters come
+// from the call's effective DBC count), then the Lab's WithCostModel
+// model, then nil — the raw shift default, which skips pricing
+// entirely. opts must already carry the Lab defaults.
+func (l *Lab) costModelFor(opts PlaceOptions) (*placement.CostModel, error) {
+	if opts.Objective == "" {
+		return l.cost, nil
+	}
+	obj, rate, err := placement.ParseObjective(opts.Objective)
+	if err != nil {
+		return nil, fmt.Errorf("racetrack: %w", err)
+	}
+	var params energy.Params
+	if obj != placement.ObjectiveShifts {
+		if params, err = energy.ForDBCs(opts.DBCs); err != nil {
+			return nil, fmt.Errorf("racetrack: objective %q: %w", opts.Objective, err)
+		}
+	}
+	m, err := placement.NewCostModel(obj, params, rate)
+	if err != nil {
+		return nil, fmt.Errorf("racetrack: %w", err)
+	}
+	return m, nil
+}
+
+// priceResult attaches the cost model's view to a finished result: the
+// total tally priced into Cost and one priced entry per DBC. A nil
+// model leaves the result unpriced — pricing is strictly a reporting
+// add-on, never a behavioral one.
+func priceResult(s *Sequence, res *PlaceResult, m *placement.CostModel) error {
+	if m == nil {
+		return nil
+	}
+	c := m.Price(placement.TallyOf(s, res.Shifts))
+	res.Cost = &c
+	tallies, err := placement.PerDBCTallies(s, res.Placement, res.PerDBC)
+	if err != nil {
+		return fmt.Errorf("racetrack: pricing per-DBC costs: %w", err)
+	}
+	res.PerDBCCost = make([]Cost, len(tallies))
+	for i, t := range tallies {
+		res.PerDBCCost[i] = m.Price(t)
+	}
+	return nil
+}
+
 // placeOne runs one strategy on one sequence and attributes the cost per
 // DBC, asserting that the strategy's reported cost agrees with the cost
 // model (a mismatch means a buggy — typically custom — strategy). With
@@ -223,6 +273,11 @@ func (l *Lab) withDefaults(opts PlaceOptions) PlaceOptions {
 func (l *Lab) placeOne(ctx context.Context, s *Sequence, opts PlaceOptions) (*PlaceResult, error) {
 	stOpts := opts.options()
 	stOpts.Context = ctx
+	model, err := l.costModelFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	stOpts.Cost = model
 	if l.cache != nil {
 		stOpts.Kernel = l.cache.kernel(s)
 	}
@@ -248,7 +303,11 @@ func (l *Lab) placeOne(ctx context.Context, s *Sequence, opts PlaceOptions) (*Pl
 		if berr != nil || b.Total != c {
 			return nil, err
 		}
-		return &PlaceResult{Placement: p, Shifts: b.Total, PerDBC: b.PerDBC}, err
+		res := &PlaceResult{Placement: p, Shifts: b.Total, PerDBC: b.PerDBC}
+		if perr := priceResult(s, res, model); perr != nil {
+			return nil, err
+		}
+		return res, err
 	}
 	b, err := l.breakdownFor(s, p, stOpts, opts.DBCs)
 	if err != nil {
@@ -257,7 +316,11 @@ func (l *Lab) placeOne(ctx context.Context, s *Sequence, opts PlaceOptions) (*Pl
 	if b.Total != c {
 		return nil, fmt.Errorf("racetrack: strategy %s reported %d shifts but the cost model attributes %d", opts.Strategy, c, b.Total)
 	}
-	return &PlaceResult{Placement: p, Shifts: b.Total, PerDBC: b.PerDBC}, nil
+	res := &PlaceResult{Placement: p, Shifts: b.Total, PerDBC: b.PerDBC}
+	if err := priceResult(s, res, model); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Place computes a placement for one access sequence with this Lab's
@@ -305,6 +368,11 @@ type PortfolioResult struct {
 	// Shifts is the winner's total shift cost; PerDBC attributes it.
 	Shifts int64
 	PerDBC []int64
+	// Cost prices the winner under the call's effective cost model; nil
+	// under the raw shift default. The race itself always prunes on the
+	// shift incumbent — which by monotonicity is the scalarized bound —
+	// so the winner is the scalarized argmin for every objective.
+	Cost *Cost
 	// Entries holds every strategy's outcome in portfolio order.
 	Entries []PortfolioEntry
 }
@@ -327,6 +395,11 @@ func (l *Lab) PlacePortfolio(ctx context.Context, s *Sequence, opts PlaceOptions
 	}
 	opts = l.withDefaults(opts)
 	stOpts := opts.options()
+	model, err := l.costModelFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	stOpts.Cost = model
 	if l.cache != nil {
 		stOpts.Kernel = l.cache.kernel(s)
 	}
@@ -356,10 +429,15 @@ func (l *Lab) PlacePortfolio(ctx context.Context, s *Sequence, opts PlaceOptions
 	if b.Total != r.Cost {
 		return nil, fmt.Errorf("racetrack: portfolio winner %s reported %d shifts but the cost model attributes %d", r.Winner, r.Cost, b.Total)
 	}
-	return &PortfolioResult{
+	res := &PortfolioResult{
 		Winner: r.Winner, Placement: r.Placement,
 		Shifts: r.Cost, PerDBC: b.PerDBC, Entries: r.Entries,
-	}, nil
+	}
+	if model != nil {
+		c := model.Price(placement.TallyOf(s, res.Shifts))
+		res.Cost = &c
+	}
+	return res, nil
 }
 
 // PlaceBenchmark places every sequence of the benchmark with the
@@ -372,9 +450,15 @@ func (l *Lab) PlaceBenchmark(ctx context.Context, b *Benchmark, opts PlaceOption
 		ctx = context.Background()
 	}
 	opts = l.withDefaults(opts)
+	stOpts := opts.options()
+	model, err := l.costModelFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	stOpts.Cost = model
 	jobs := make([]engine.PlaceJob, len(b.Sequences))
 	for i, s := range b.Sequences {
-		jobs[i] = engine.PlaceJob{Sequence: s, Strategy: opts.Strategy, DBCs: opts.DBCs, Options: opts.options()}
+		jobs[i] = engine.PlaceJob{Sequence: s, Strategy: opts.Strategy, DBCs: opts.DBCs, Options: stOpts}
 	}
 	out, err := engine.BatchPlaceWith(ctx, jobs, opts.Workers, l.hooks())
 	if err != nil {
@@ -385,7 +469,7 @@ func (l *Lab) PlaceBenchmark(ctx context.Context, b *Benchmark, opts PlaceOption
 	// cache it is the replay pass the pre-session API also paid).
 	results, err := engine.Map(ctx, len(out), opts.Workers, func(_ context.Context, i int) (*PlaceResult, error) {
 		o := out[i]
-		bd, err := l.breakdownFor(b.Sequences[i], o.Placement, opts.options(), opts.DBCs)
+		bd, err := l.breakdownFor(b.Sequences[i], o.Placement, stOpts, opts.DBCs)
 		if err != nil {
 			return nil, fmt.Errorf("sequence %d: %w", i, err)
 		}
@@ -393,7 +477,11 @@ func (l *Lab) PlaceBenchmark(ctx context.Context, b *Benchmark, opts PlaceOption
 			return nil, fmt.Errorf("sequence %d: strategy %s reported %d shifts but the cost model attributes %d",
 				i, opts.Strategy, o.Shifts, bd.Total)
 		}
-		return &PlaceResult{Placement: o.Placement, Shifts: o.Shifts, PerDBC: bd.PerDBC}, nil
+		r := &PlaceResult{Placement: o.Placement, Shifts: o.Shifts, PerDBC: bd.PerDBC}
+		if err := priceResult(b.Sequences[i], r, model); err != nil {
+			return nil, fmt.Errorf("sequence %d: %w", i, err)
+		}
+		return r, nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("racetrack: place benchmark %s: %w", b.Name, err)
@@ -401,6 +489,13 @@ func (l *Lab) PlaceBenchmark(ctx context.Context, b *Benchmark, opts PlaceOption
 	res := &BenchmarkPlaceResult{Benchmark: b, Results: results}
 	for _, r := range results {
 		res.TotalShifts += r.Shifts
+	}
+	if model != nil {
+		total := &Cost{Objective: model.Objective()}
+		for _, r := range results {
+			total.Add(*r.Cost)
+		}
+		res.TotalCost = total
 	}
 	return res, nil
 }

@@ -23,6 +23,7 @@ type labConfig struct {
 	device     sim.Config
 	deviceSet  bool
 	kernelCap  int
+	cost       *placement.CostModel
 	progress   func(ProgressEvent)
 	strategies []labStrategy
 	errs       []error
@@ -129,6 +130,24 @@ func WithKernelCache(n int) Option {
 			return
 		}
 		c.kernelCap = n
+	}
+}
+
+// WithCostModel installs the Lab's default cost model: every placement
+// result of this Lab (Place, PlacePortfolio, PlaceBenchmark,
+// PlaceStream) is priced under it unless the call's
+// PlaceOptions.Objective overrides the objective. Pricing is a
+// reporting add-on: placements, shift counts and search trajectories
+// are bit-identical with or without a model, because every
+// constructible objective is strictly monotone in the shift count. A
+// nil model is an error (omit the option for the raw shift default).
+func WithCostModel(m *CostModel) Option {
+	return func(c *labConfig) {
+		if m == nil {
+			c.errs = append(c.errs, fmt.Errorf("racetrack: WithCostModel(nil): construct a model with NewCostModel"))
+			return
+		}
+		c.cost = m
 	}
 }
 

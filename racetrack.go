@@ -229,6 +229,16 @@ type PlaceOptions struct {
 	// (0 selects the default window; see StreamWindow). Ignored by the
 	// in-RAM methods.
 	Window int
+	// Objective selects the cost objective the result is priced under:
+	// "shifts", "energy", "runtime" or "faulty:<rate>" (ParseObjective).
+	// The Table I parameters come from the effective DBC count, so a
+	// derived objective with a non-Table-I DBCs value is an error. Empty
+	// falls back to the Lab's WithCostModel model, and then to the raw
+	// shift default, which skips pricing entirely (Cost stays nil).
+	// Placements and shift counts are bit-identical across objectives —
+	// every objective is strictly monotone in shifts — so this only
+	// controls the priced Cost fields of the result.
+	Objective string
 }
 
 // options lowers PlaceOptions to the per-strategy knobs. The port
@@ -250,6 +260,13 @@ type PlaceResult struct {
 	Shifts int64
 	// PerDBC attributes shifts to DBCs.
 	PerDBC []int64
+	// Cost prices the result under the call's effective cost model
+	// (PlaceOptions.Objective, else WithCostModel); nil under the raw
+	// shift default.
+	Cost *Cost
+	// PerDBCCost prices each DBC's share of the tally, aligned with
+	// PerDBC. nil whenever Cost is.
+	PerDBCCost []Cost
 }
 
 // PlaceTrace computes a placement for one access sequence. It is a
@@ -273,6 +290,9 @@ type BenchmarkPlaceResult struct {
 	// TotalShifts sums the per-sequence shift costs (each sequence is an
 	// independent placement problem).
 	TotalShifts int64
+	// TotalCost accumulates the per-sequence priced costs under the
+	// call's effective cost model; nil under the raw shift default.
+	TotalCost *Cost
 }
 
 // PlaceBenchmark places every sequence of the benchmark with the selected
@@ -331,6 +351,73 @@ func SimulateBenchmark(dev DeviceConfig, b *Benchmark, strategy Strategy, opts P
 
 // EnergyParams exposes the Table I row for a DBC count.
 func EnergyParams(dbcs int) (energy.Params, error) { return energy.ForDBCs(dbcs) }
+
+// An Objective names the cost dimension placements are priced — and
+// searched — under: raw shifts (the paper's primitive and the default),
+// total energy, serialized runtime, or expected runtime under the
+// FaultyEngine error model. Every objective is strictly monotone in the
+// shift count for a fixed configuration, so the optimizers keep their
+// exact shift-minimizing trajectories regardless of the objective; only
+// the priced Cost reported alongside results changes (DESIGN.md §15).
+type Objective = placement.Objective
+
+// The supported objectives.
+const (
+	// ObjectiveShifts is the raw shift count (the default).
+	ObjectiveShifts = placement.ObjectiveShifts
+	// ObjectiveEnergy is total (dynamic + leakage) energy in pJ.
+	ObjectiveEnergy = placement.ObjectiveEnergy
+	// ObjectiveRuntime is serialized-access runtime in ns.
+	ObjectiveRuntime = placement.ObjectiveRuntime
+	// ObjectiveFaulty is expected runtime under a per-shift slip rate;
+	// spelled "faulty:<rate>" in specs.
+	ObjectiveFaulty = placement.ObjectiveFaulty
+)
+
+// ParseObjective parses an objective spec — "shifts", "energy",
+// "runtime" or "faulty:<rate>" with rate in [0,1) — as accepted by
+// PlaceOptions.Objective, the CLIs and the placement service. The empty
+// string parses as ObjectiveShifts; the returned rate is nonzero only
+// for faulty specs.
+func ParseObjective(spec string) (Objective, float64, error) {
+	return placement.ParseObjective(spec)
+}
+
+// A Tally is the event totals a Cost is priced from: the placement's
+// shift count plus the trace's (placement-independent) read and write
+// counts.
+type Tally = placement.Tally
+
+// TallyOf builds the pricing tally for a placement of s that costs the
+// given shift count: the read/write totals come from the sequence, the
+// shift count from the placement.
+func TallyOf(s *Sequence, shifts int64) Tally { return placement.TallyOf(s, shifts) }
+
+// A Cost is a placement's tally priced into every cost dimension at
+// once: shift/read/write counts, expected fault-correction shifts,
+// runtime, dynamic and leakage energy, and the scalar the objective
+// selects.
+type Cost = placement.Cost
+
+// A CostModel prices shift/read/write tallies under one objective and
+// one Table I parameter set. Models are immutable and safe for
+// concurrent use; construct with NewCostModel (or install one Lab-wide
+// with WithCostModel).
+type CostModel = placement.CostModel
+
+// NewCostModel builds a pricing model from an objective, a Table I
+// parameter set (see EnergyParams; a zero value is accepted only for
+// ObjectiveShifts) and a FaultyEngine per-shift slip rate in [0,1).
+// Construction fails unless the objective's scalar is strictly
+// increasing in the shift count — the invariant that lets the search
+// layers optimize raw shifts on the model's behalf.
+func NewCostModel(objective Objective, params energy.Params, faultRate float64) (*CostModel, error) {
+	return placement.NewCostModel(objective, params, faultRate)
+}
+
+// DefaultCostModel returns the raw-shift model: the zero-overhead
+// default that prices exactly what the paper's evaluation counts.
+func DefaultCostModel() *CostModel { return placement.DefaultCostModel() }
 
 // ShiftCost evaluates a placement's shift cost without simulation by
 // replaying the access stream — the repository's cost oracle. Callers

@@ -40,6 +40,12 @@ type PlaceRequest struct {
 	DBCs     int `json:"dbcs,omitempty"`
 	Capacity int `json:"capacity,omitempty"`
 	Ports    int `json:"ports,omitempty"`
+	// Objective selects the cost objective the placement is priced
+	// under — "shifts", "energy", "runtime" or "faulty:<rate>" with
+	// rate in [0,1). Empty skips pricing (the response carries no
+	// Cost). The objective never changes the placement itself, only
+	// the pricing, but it is part of the server's cache identity.
+	Objective string `json:"objective,omitempty"`
 	// DeadlineMillis asks the server to bound this request's search; the
 	// effective deadline is min(DeadlineMillis, the server's maximum). A
 	// search that hits its deadline returns its best-so-far placement
@@ -70,6 +76,30 @@ type PlaceResponse struct {
 	// Coalesced marks a request that shared another in-flight identical
 	// request's computation instead of running its own.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Cost is the placement priced under the request's objective; nil
+	// when the request asked for none.
+	Cost *PlaceCost `json:"cost,omitempty"`
+}
+
+// PlaceCost is the wire form of a priced placement (racetrack.Cost).
+type PlaceCost struct {
+	// Objective is the canonical objective spec the cost was priced
+	// under (e.g. "energy", "faulty:0.01").
+	Objective string `json:"objective"`
+	// Shifts, Reads and Writes are the nominal event totals.
+	Shifts int64 `json:"shifts"`
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	// FaultShifts is the expected extra correction shifts (0 unless the
+	// objective is fault-aware).
+	FaultShifts float64 `json:"fault_shifts,omitempty"`
+	// RuntimeNS, DynamicPJ and LeakagePJ are the derived dimensions
+	// (0 under the raw shift objective).
+	RuntimeNS float64 `json:"runtime_ns,omitempty"`
+	DynamicPJ float64 `json:"dynamic_pj,omitempty"`
+	LeakagePJ float64 `json:"leakage_pj,omitempty"`
+	// Scalar is the objective's scalarization of the above.
+	Scalar float64 `json:"scalar"`
 }
 
 // ErrorResponse is the body of a non-200 response.

@@ -42,6 +42,17 @@ grep -q "cached=false" "$OUT"/leg1.out
 "$OUT"/rtmcall -addr "$BASE" -trace "$TRACE" | tee "$OUT"/leg1b.out
 grep -q "cached=true" "$OUT"/leg1b.out
 
+echo "=== leg 1b: objective change must not serve the stale unpriced entry"
+# Same trace under a priced objective: the warm unpriced entry must NOT
+# answer (the response needs cost dimensions it never carried)...
+"$OUT"/rtmcall -addr "$BASE" -trace "$TRACE" -objective energy | tee "$OUT"/leg1c.out
+grep -q "cached=false" "$OUT"/leg1c.out
+grep -q "cost\[energy\]" "$OUT"/leg1c.out
+# ...and the repeat under the same objective is warm, still priced.
+"$OUT"/rtmcall -addr "$BASE" -trace "$TRACE" -objective energy | tee "$OUT"/leg1d.out
+grep -q "cached=true" "$OUT"/leg1d.out
+grep -q "cost\[energy\]" "$OUT"/leg1d.out
+
 echo "=== leg 2: flood a tiny queue -> sheds, accepted requests complete"
 kill -TERM "$SRV"; wait "$SRV"
 "$OUT"/rtmserve -addr "$ADDR" -cache-dir "$CACHE" \

@@ -123,13 +123,19 @@ func (l *Lab) PlaceStream(ctx context.Context, numVars int, r AccessReader, opts
 		ctx = context.Background()
 	}
 	opts = l.withDefaults(opts)
+	model, err := l.costModelFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	stOpts := opts.options()
+	stOpts.Cost = model // the stitched totals are priced at the boundary
 	cfg := placement.StreamConfig{
 		NumVars:  numVars,
 		DBCs:     opts.DBCs,
 		Window:   opts.Window,
 		Strategy: opts.Strategy,
 		Registry: l.registry,
-		Options:  opts.options(),
+		Options:  stOpts,
 	}
 	if l.progress != nil {
 		cfg.Progress = func(ev placement.StreamWindowEvent) {
